@@ -1,0 +1,17 @@
+"""Shared fixtures for the figure benchmarks."""
+
+import pathlib
+import sys
+
+# Benchmarks import their common helpers as a plain module.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where rendered figures are written."""
+    out = pathlib.Path(__file__).resolve().parent / "out"
+    out.mkdir(exist_ok=True)
+    return out

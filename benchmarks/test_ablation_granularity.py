@@ -1,0 +1,66 @@
+"""Ablation: section-level vs function-level parallelism (§3.1).
+
+The paper's original plan parallelized only across *sections*; the final
+design compiles *functions* independently.  This ablation quantifies the
+difference the finer grain makes: a single-section S_8 program has no
+section-level parallelism at all, and even the three-section user program
+is bounded by its slowest section.
+"""
+
+from figures_common import write_figure
+from repro.cluster.cluster import ClusterSimulation
+from repro.metrics.experiments import profile_for, user_program_profile
+from repro.metrics.series import Figure
+from repro.parallel.schedule import Assignment, one_function_per_processor
+
+
+def section_level_assignment(profile) -> Assignment:
+    """One machine per section, compiling its functions back to back."""
+    sections = {}
+    for index, fn in enumerate(profile.functions):
+        sections.setdefault(fn.section_name, []).append(index)
+    return Assignment(per_machine=[idx for idx in sections.values()])
+
+
+def build_figure() -> Figure:
+    sim = ClusterSimulation()
+    fig = Figure(
+        "Ablation: granularity",
+        "Section-level vs function-level parallel compilation",
+        "workload",
+        "speedup (elapsed)",
+        xs=["medium x8 (1 section)", "user program (3 sections)"],
+    )
+    by_section = fig.new_series("section granularity (original plan)")
+    by_function = fig.new_series("function granularity (final design)")
+    for label, profile in (
+        ("medium x8 (1 section)", profile_for("medium", 8)),
+        ("user program (3 sections)", user_program_profile()),
+    ):
+        seq = sim.run_sequential(profile)
+        coarse = sim.run_parallel(profile, section_level_assignment(profile))
+        fine = sim.run_parallel(
+            profile, one_function_per_processor(profile.functions)
+        )
+        by_section.add(label, seq.elapsed / coarse.elapsed)
+        by_function.add(label, seq.elapsed / fine.elapsed)
+    return fig
+
+
+def test_function_granularity_beats_section_granularity(
+    benchmark, results_dir
+):
+    fig = benchmark(build_figure)
+    write_figure(results_dir, fig)
+
+    coarse = fig.series_named("section granularity (original plan)")
+    fine = fig.series_named("function granularity (final design)")
+
+    single = "medium x8 (1 section)"
+    multi = "user program (3 sections)"
+
+    # A one-section program gets no parallelism at section granularity.
+    assert coarse.points[single] <= 1.1
+    assert fine.points[single] > 3.0
+    # The user program gets some (3 sections) but the fine grain wins.
+    assert 1.0 < coarse.points[multi] < fine.points[multi]

@@ -1,0 +1,60 @@
+"""Ablation: scaling the processor count (paper §6).
+
+"For the style of parallelism exploited by this compiler, on the order of
+8 to 16 processors can be used comfortably.  For our domain of
+application programs, extending the number of processors beyond this
+range is unlikely to yield any additional speedup."
+"""
+
+from figures_common import write_figure
+from repro.cluster.cluster import ClusterSimulation
+from repro.metrics.experiments import profile_for
+from repro.metrics.series import Figure
+from repro.parallel.schedule import fcfs_assignment
+
+PROCESSORS = [1, 2, 4, 8, 12, 16, 24, 32]
+
+
+def build_figure() -> Figure:
+    """A 16-function medium program swept over processor counts."""
+    # 16 = two stacked S_8 mediums; reuse the 8-function profile twice.
+    profile = profile_for("medium", 8)
+    import copy
+
+    big = copy.deepcopy(profile)
+    clone = copy.deepcopy(profile)
+    for index, fn in enumerate(clone.functions):
+        fn.name = f"g{index}"
+    big.functions.extend(clone.functions)
+    big.parse_work *= 2
+    big.sema_work *= 2
+    big.assembly_work *= 2
+    big.source_lines *= 2
+
+    sim = ClusterSimulation()
+    seq = sim.run_sequential(big)
+    fig = Figure(
+        "Ablation: scaling",
+        "Speedup vs processors (16 medium functions)",
+        "processors",
+        "speedup (elapsed)",
+        xs=list(PROCESSORS),
+    )
+    series = fig.new_series("speedup")
+    for p in PROCESSORS:
+        par = sim.run_parallel(big, fcfs_assignment(big.functions, p))
+        series.add(p, seq.elapsed / par.elapsed)
+    return fig
+
+
+def test_scaling_saturates_between_8_and_16(benchmark, results_dir):
+    fig = benchmark(build_figure)
+    write_figure(results_dir, fig)
+    series = fig.series_named("speedup")
+
+    # Speedup grows up to 8 processors...
+    assert series.points[2] > series.points[1]
+    assert series.points[8] > series.points[4] > series.points[2]
+    # ...but going beyond 16 buys essentially nothing.
+    assert series.points[32] <= series.points[16] * 1.10
+    assert series.points[24] <= series.points[16] * 1.10

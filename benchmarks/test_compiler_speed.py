@@ -1,0 +1,25 @@
+"""Benchmark of the reproduction compiler itself (real wall-clock).
+
+Not a figure from the paper — a performance-tracking harness for this
+codebase: how fast phases 1-4 run on each workload size, so regressions
+in the optimizer or the pipeliner show up as benchmark deltas.
+"""
+
+import pytest
+
+from repro.driver.sequential import SequentialCompiler
+from repro.workloads.synthetic import synthetic_program
+
+
+@pytest.mark.parametrize("size", ["tiny", "small", "medium", "large"])
+def test_compile_speed(benchmark, size):
+    source = synthetic_program(size, 1)
+    result = benchmark(SequentialCompiler().compile, source)
+    assert result.profile.functions[0].work_units > 0
+
+
+def test_compile_speed_full_program(benchmark):
+    """The whole S_4(medium) program through all four phases."""
+    source = synthetic_program("medium", 4)
+    result = benchmark(SequentialCompiler().compile, source)
+    assert len(result.profile.functions) == 4

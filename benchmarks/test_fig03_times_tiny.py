@@ -1,0 +1,28 @@
+"""Figure 3: execution times for f_tiny.
+
+Paper: "The parallel elapsed time is considerably larger than the
+sequential elapsed time.  This indicates that for small functions,
+parallel compilation is of no use."
+"""
+
+from figures_common import times_figure, write_figure
+from repro.metrics.experiments import measure_pair
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig03_times_tiny(benchmark, results_dir):
+    fig = benchmark(times_figure, "tiny", "Figure 3")
+    write_figure(results_dir, fig)
+
+    seq = fig.series_named("elapsed seq")
+    par = fig.series_named("elapsed par")
+    for n in FUNCTION_COUNTS:
+        # Parallel compilation of tiny functions always loses.
+        assert par.points[n] > seq.points[n]
+    # The loss grows with the number of functions.
+    ratios = [par.points[n] / seq.points[n] for n in FUNCTION_COUNTS]
+    assert ratios[-1] > ratios[0]
+    # CPU time (per processor) stays below elapsed time.
+    cpu = fig.series_named("cpu par")
+    for n in FUNCTION_COUNTS:
+        assert cpu.points[n] <= par.points[n]

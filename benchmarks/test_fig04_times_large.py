@@ -1,0 +1,24 @@
+"""Figure 4: execution times for f_large — the best case.
+
+Paper: "Parallel elapsed time is considerably smaller than sequential
+elapsed time.  As the number of functions increases, the resulting
+increase in parallel compilation time is only marginal ... adding more
+tasks does not increase execution time - a parallel programmer's dream!"
+"""
+
+from figures_common import times_figure, write_figure
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig04_times_large(benchmark, results_dir):
+    fig = benchmark(times_figure, "large", "Figure 4")
+    write_figure(results_dir, fig)
+
+    seq = fig.series_named("elapsed seq")
+    par = fig.series_named("elapsed par")
+    # Parallel wins clearly from 2 functions on.
+    for n in (2, 4, 8):
+        assert par.points[n] < seq.points[n] / 1.5
+    # Sequential time grows ~linearly with n; parallel only marginally.
+    assert seq.points[8] > 6 * seq.points[1]
+    assert par.points[8] < 1.35 * par.points[1]  # "only marginal"

@@ -1,0 +1,33 @@
+"""Figure 5: execution times for f_huge.
+
+Paper: "Still, the parallel compiler is much faster than the sequential
+compiler.  However, compared to f_large, the speedup obtained by the
+parallel compilation decreases."
+"""
+
+from figures_common import times_figure, write_figure
+from repro.metrics.experiments import measure_pair
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig05_times_huge(benchmark, results_dir):
+    fig = benchmark(times_figure, "huge", "Figure 5")
+    write_figure(results_dir, fig)
+
+    seq = fig.series_named("elapsed seq")
+    par = fig.series_named("elapsed par")
+    for n in (2, 4, 8):
+        assert par.points[n] < seq.points[n]  # still much faster
+
+    # But the speedup is clearly lower than f_large's once several
+    # function masters page concurrently (n >= 4); at n=2 the two sizes
+    # are within noise of each other.
+    for n in (4, 8):
+        assert (
+            measure_pair("huge", n).speedup
+            < measure_pair("large", n).speedup
+        )
+    assert (
+        measure_pair("huge", 2).speedup
+        <= 1.05 * measure_pair("large", 2).speedup
+    )

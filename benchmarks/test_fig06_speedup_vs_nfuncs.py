@@ -1,0 +1,34 @@
+"""Figure 6: speedup over the sequential compiler, all five sizes.
+
+Paper: "Except for f_tiny, the speedup is always greater than 1 and
+increases as the level of parallelism (that is the number of functions)
+increases."
+"""
+
+from figures_common import PAPER_NAME, speedup_vs_n_figure, write_figure
+from repro.workloads.sizes import FUNCTION_COUNTS, SIZE_ORDER
+
+
+def test_fig06_speedup_vs_nfuncs(benchmark, results_dir):
+    fig = benchmark(speedup_vs_n_figure)
+    write_figure(results_dir, fig)
+
+    tiny = fig.series_named(PAPER_NAME["tiny"])
+    for n in FUNCTION_COUNTS:
+        assert tiny.points[n] < 1.0  # f_tiny never wins
+
+    for size in ("small", "medium", "large", "huge"):
+        series = fig.series_named(PAPER_NAME[size])
+        for n in (2, 4, 8):
+            assert series.points[n] > 1.0
+        values = [series.points[n] for n in FUNCTION_COUNTS]
+        assert values == sorted(values)  # increases with parallelism
+
+    # Performance increases with function size up to f_large, then
+    # decreases again for f_huge (paper §4.2.2).
+    at8 = {
+        size: fig.series_named(PAPER_NAME[size]).points[8]
+        for size in SIZE_ORDER
+    }
+    assert at8["tiny"] < at8["small"] < at8["medium"] <= at8["large"]
+    assert at8["huge"] < at8["large"]

@@ -1,0 +1,35 @@
+"""Figure 7: speedup versus function size (lines of code).
+
+Paper: "If the number of functions is small, the size of the function
+does not influence speedup.  This changes for 4 and 8 functions: the
+parallel speedup is significantly smaller for the largest function
+(f_huge)."
+"""
+
+from figures_common import speedup_vs_size_figure, write_figure
+from repro.workloads.sizes import SIZE_CLASSES
+
+
+def test_fig07_speedup_vs_size(benchmark, results_dir):
+    fig = benchmark(speedup_vs_size_figure)
+    write_figure(results_dir, fig)
+
+    large_loc = SIZE_CLASSES["large"]
+    huge_loc = SIZE_CLASSES["huge"]
+
+    # n=1: size barely matters (all speedups hug 1.0).
+    one = fig.series_named("1 function(s)")
+    values = [one.points[x] for x in fig.xs]
+    assert max(values) - min(values) < 0.6
+
+    # n=4 and n=8: the speedup drops from f_large to f_huge.
+    for label in ("4 function(s)", "8 function(s)"):
+        series = fig.series_named(label)
+        assert series.points[huge_loc] < series.points[large_loc]
+
+    # More functions -> more speedup at every size above tiny.
+    for loc in [SIZE_CLASSES[s] for s in ("small", "medium", "large")]:
+        assert (
+            fig.series_named("8 function(s)").points[loc]
+            > fig.series_named("2 function(s)").points[loc]
+        )

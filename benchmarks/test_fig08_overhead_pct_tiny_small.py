@@ -1,0 +1,33 @@
+"""Figure 8: overheads as a percentage of total time, f_tiny and f_small.
+
+Paper: "For f_tiny, the overhead contributes up to 70% of the parallel
+elapsed time.  The system overhead is almost as big as the total
+overhead.  For f_small the overhead is less than for f_tiny but still
+substantial."
+"""
+
+from figures_common import relative_overhead_figure, write_figure
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig08_overhead_tiny_small(benchmark, results_dir):
+    fig = benchmark(relative_overhead_figure, ["tiny", "small"], "Figure 8")
+    write_figure(results_dir, fig)
+
+    tiny_total = fig.series_named("rel. total overhead f_tiny")
+    tiny_system = fig.series_named("rel. system overhead f_tiny")
+    small_total = fig.series_named("rel. total overhead f_small")
+
+    # Tiny overhead dominates: at least 70% for n >= 2.
+    for n in (2, 4, 8):
+        assert tiny_total.points[n] >= 70.0
+    # System overhead is "almost as big as the total overhead" at scale.
+    assert tiny_system.points[8] >= 0.8 * tiny_total.points[8]
+    # Small's overhead is lower than tiny's but still substantial.
+    for n in FUNCTION_COUNTS:
+        assert small_total.points[n] < tiny_total.points[n]
+    assert small_total.points[8] >= 20.0
+    # Relative overhead increases with the number of functions (§4.2.3).
+    for series in (tiny_total, small_total):
+        values = [series.points[n] for n in FUNCTION_COUNTS]
+        assert values == sorted(values)

@@ -1,0 +1,26 @@
+"""Figure 12 (appendix): execution times for f_small.
+
+Paper: "The measurements for f_small and f_medium show continually better
+results for parallel compilation" (than f_tiny).
+"""
+
+from figures_common import times_figure, write_figure
+from repro.metrics.experiments import measure_pair
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig12_times_small(benchmark, results_dir):
+    fig = benchmark(times_figure, "small", "Figure 12")
+    write_figure(results_dir, fig)
+
+    seq = fig.series_named("elapsed seq")
+    par = fig.series_named("elapsed par")
+    # Better than f_tiny at every n; wins outright from n=2.
+    for n in (2, 4, 8):
+        assert par.points[n] < seq.points[n]
+        assert (
+            seq.points[n] / par.points[n]
+            > measure_pair("tiny", n).speedup
+        )
+    # Sequential grows linearly with n.
+    assert seq.points[8] > 6.5 * seq.points[1]

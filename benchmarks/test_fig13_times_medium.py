@@ -1,0 +1,24 @@
+"""Figure 13 (appendix): execution times for f_medium."""
+
+from figures_common import times_figure, write_figure
+from repro.metrics.experiments import measure_pair
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig13_times_medium(benchmark, results_dir):
+    fig = benchmark(times_figure, "medium", "Figure 13")
+    write_figure(results_dir, fig)
+
+    seq = fig.series_named("elapsed seq")
+    par = fig.series_named("elapsed par")
+    for n in (2, 4, 8):
+        assert par.points[n] < seq.points[n]
+        # Medium beats small at equal n (bigger grains amortize startup).
+        assert (
+            seq.points[n] / par.points[n]
+            > measure_pair("small", n).speedup
+        )
+    # Parallel elapsed grows slowly compared to sequential.
+    assert (par.points[8] / par.points[1]) < 0.3 * (
+        seq.points[8] / seq.points[1]
+    )

@@ -1,0 +1,24 @@
+"""Figure 14 (appendix): absolute overhead for f_tiny and f_small."""
+
+from figures_common import absolute_overhead_figure, write_figure
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig14_abs_overhead_tiny_small(benchmark, results_dir):
+    fig = benchmark(
+        absolute_overhead_figure, ["tiny", "small"], "Figure 14"
+    )
+    write_figure(results_dir, fig)
+
+    tiny_total = fig.series_named("total overhead f_tiny")
+    small_total = fig.series_named("total overhead f_small")
+
+    # Absolute overhead rises with the number of functions for both.
+    for series in (tiny_total, small_total):
+        values = [series.points[n] for n in FUNCTION_COUNTS]
+        assert values == sorted(values)
+        assert values[-1] > 2 * values[0]
+
+    # The mechanisms are size-independent (startup, network): tiny and
+    # small absolute overheads are the same order of magnitude.
+    assert 0.2 < tiny_total.points[8] / small_total.points[8] < 5.0

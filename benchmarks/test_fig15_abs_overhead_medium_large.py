@@ -1,0 +1,28 @@
+"""Figure 15 (appendix): absolute overhead for f_medium and f_large."""
+
+from figures_common import absolute_overhead_figure, write_figure
+from repro.workloads.sizes import FUNCTION_COUNTS
+
+
+def test_fig15_abs_overhead_medium_large(benchmark, results_dir):
+    fig = benchmark(
+        absolute_overhead_figure, ["medium", "large"], "Figure 15"
+    )
+    write_figure(results_dir, fig)
+
+    medium = fig.series_named("total overhead f_medium")
+    # Medium's overhead increases monotonically with the number of
+    # functions; large's stays small throughout (it can dip where the
+    # sequential compiler's own memory pressure offsets it).
+    medium_values = [medium.points[n] for n in FUNCTION_COUNTS]
+    assert medium_values == sorted(medium_values)
+    large = fig.series_named("total overhead f_large")
+    for n in FUNCTION_COUNTS:
+        assert abs(large.points[n]) < medium.points[8] + 60.0
+    # ...while remaining small relative to the compile times themselves
+    # (f_large's total elapsed is ~30x its absolute overhead at n=8).
+    from repro.metrics.experiments import measure_pair
+
+    pair = measure_pair("large", 8)
+    large = fig.series_named("total overhead f_large")
+    assert large.points[8] < 0.3 * pair.parallel.elapsed

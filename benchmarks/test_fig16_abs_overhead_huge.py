@@ -1,0 +1,32 @@
+"""Figure 16 (appendix): absolute overhead for f_huge.
+
+f_huge has the largest *absolute* overhead of all sizes: its function
+masters page against the shared file server.
+"""
+
+from figures_common import absolute_overhead_figure, overheads_for, write_figure
+from repro.workloads.sizes import FUNCTION_COUNTS, SIZE_ORDER
+
+
+def test_fig16_abs_overhead_huge(benchmark, results_dir):
+    fig = benchmark(absolute_overhead_figure, ["huge"], "Figure 16")
+    write_figure(results_dir, fig)
+
+    total = fig.series_named("total overhead f_huge")
+    system = fig.series_named("system overhead f_huge")
+
+    # Overhead takes off once several huge function masters page against
+    # the shared server at once (n=2 can even dip slightly negative when
+    # the sequential compiler's own memory pressure dominates).
+    assert total.points[8] > total.points[4] > 0
+    assert total.points[8] > 3.0 * max(total.points[1], 1.0)
+    # System overhead is the bulk of the total at n=8.
+    assert system.points[8] > 0.7 * total.points[8]
+
+    # f_huge's absolute overhead at n=8 tops every other size class.
+    huge_at_8 = total.points[8]
+    for size in SIZE_ORDER:
+        if size == "huge":
+            continue
+        other = overheads_for(size)[8].total_overhead
+        assert huge_at_8 > other

@@ -1,0 +1,52 @@
+"""The abstract's headline result.
+
+Paper: "For typical programs in our environment, we observe a speedup
+ranging from 3 to 6 using not more than 9 processors."
+"""
+
+from figures_common import write_figure
+from repro.metrics.experiments import measure_pair, measure_user_program
+from repro.metrics.series import Figure
+
+
+def build_figure() -> Figure:
+    fig = Figure(
+        "Headline",
+        "Speedup for typical programs, <= 9 processors",
+        "workload",
+        "speedup (elapsed)",
+        xs=[
+            "medium x8",
+            "large x8",
+            "huge x8",
+            "user program (9 procs)",
+            "user program (5 procs)",
+        ],
+    )
+    series = fig.new_series("speedup")
+    series.add("medium x8", measure_pair("medium", 8).speedup)
+    series.add("large x8", measure_pair("large", 8).speedup)
+    series.add("huge x8", measure_pair("huge", 8).speedup)
+    series.add(
+        "user program (9 procs)",
+        measure_user_program(9, strategy="grouped").speedup,
+    )
+    series.add(
+        "user program (5 procs)",
+        measure_user_program(5, strategy="grouped").speedup,
+    )
+    return fig
+
+
+def test_headline_speedup(benchmark, results_dir):
+    fig = benchmark(build_figure)
+    write_figure(results_dir, fig)
+    series = fig.series_named("speedup")
+
+    # Every typical (medium-or-bigger) workload speeds up by at least 3x
+    # on at most 9 processors; nothing exceeds the ideal.
+    for workload in fig.xs:
+        assert 3.0 <= series.points[workload] <= 9.0
+    # The paper's 3-6 band holds for the mixed user program.
+    assert 3.0 <= series.points["user program (9 procs)"] <= 6.0
+    assert 3.0 <= series.points["user program (5 procs)"] <= 6.0

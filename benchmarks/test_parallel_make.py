@@ -1,0 +1,75 @@
+"""§3.4 comparison: parallel make versus the parallel compiler.
+
+Paper: "While in parallel make several modules are compiled concurrently
+with a sequential compiler, our system compiles a single module with a
+parallel compiler ... In practice, both approaches could coexist, with
+the parallel compiler speeding up the individual translations, and the
+parallel make system organizing the system generation effort."
+"""
+
+from figures_common import write_figure
+from repro.cluster.cluster import ClusterSimulation
+from repro.metrics.experiments import profile_for
+from repro.metrics.series import Figure
+from repro.parallel.parallel_make import (
+    MakeTarget,
+    simulate_parallel_make,
+)
+from repro.parallel.schedule import one_function_per_processor
+
+
+def build_figure() -> Figure:
+    """A system of 6 modules (each S_2 medium), built three ways."""
+    sim = ClusterSimulation()
+    profiles = [profile_for("medium", 2) for _ in range(6)]
+    targets = [
+        MakeTarget(name=f"mod{i}", profile=p) for i, p in enumerate(profiles)
+    ]
+
+    sequential_build = sum(
+        sim.run_sequential(p).elapsed for p in profiles
+    )
+    pmake = simulate_parallel_make(targets, machines=6, sim=sim)
+
+    # Our parallel compiler on each module, one after another.
+    parallel_each = sum(
+        sim.run_parallel(
+            p, one_function_per_processor(p.functions)
+        ).elapsed
+        for p in profiles
+    )
+
+    fig = Figure(
+        "§3.4",
+        "Parallel make vs parallel compiler (6-module system)",
+        "approach",
+        "build time (virtual seconds)",
+        xs=["sequential", "parallel make", "parallel compiler", "combined"],
+    )
+    series = fig.new_series("elapsed")
+    series.add("sequential", sequential_build)
+    series.add("parallel make", pmake.elapsed)
+    series.add("parallel compiler", parallel_each)
+    combined = simulate_parallel_make(
+        targets, machines=6, sim=sim, parallel_modules=True
+    )
+    series.add("combined", combined.elapsed)
+    return fig
+
+
+def test_parallel_make_comparison(benchmark, results_dir):
+    fig = benchmark(build_figure)
+    write_figure(results_dir, fig)
+    series = fig.series_named("elapsed")
+
+    sequential = series.points["sequential"]
+    pmake = series.points["parallel make"]
+    parallel_compiler = series.points["parallel compiler"]
+    combined = series.points["combined"]
+
+    # Parallel make wins over a fully sequential system build.
+    assert pmake < sequential / 3
+    # The parallel compiler alone also beats sequential builds.
+    assert parallel_compiler < sequential
+    # Coexistence is the best of both (§3.4's closing point).
+    assert combined <= min(pmake, parallel_compiler) * 1.05

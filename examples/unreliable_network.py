@@ -1,0 +1,46 @@
+"""Surviving an unreliable network of workstations (§5.2).
+
+The paper's authors complain that on a network of autonomous UNIX nodes
+"it is hard to make a parallel program reliable ... the application code
+becomes unwieldy as it tries to account for all possible failures in the
+child processes and their host processors."
+
+This example injects deterministic crashes into one compilation in three
+and shows the retrying backend absorbing them: the final download module
+is still bit-identical to the sequential compiler's.
+
+Run:  python examples/unreliable_network.py
+"""
+
+from repro import ParallelCompiler, SequentialCompiler
+from repro.parallel import FlakyBackend, RetryingBackend, SerialBackend
+from repro.workloads.synthetic import synthetic_program
+
+SOURCE = synthetic_program("small", 6, module_name="flaky_build")
+
+
+def main() -> None:
+    sequential = SequentialCompiler().compile(SOURCE)
+
+    # A backend where roughly every third function master "crashes"
+    # (a rebooted workstation, a killed Lisp process), but any single
+    # task fails at most twice.
+    flaky = FlakyBackend(
+        SerialBackend(), failure_rate=0.5, seed=11,
+        max_failures_per_task=2,
+    )
+    backend = RetryingBackend(flaky, max_attempts=3)
+
+    result = ParallelCompiler(backend=backend).compile(SOURCE)
+
+    print(f"function masters launched : 6 tasks")
+    print(f"injected crashes          : {flaky.injected_failures}")
+    print(f"retries performed         : {backend.retries_performed}")
+    print(f"output identical to the sequential compiler:",
+          result.digest == sequential.digest)
+    for line in result.report_lines()[:3]:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

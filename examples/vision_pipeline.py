@@ -1,0 +1,109 @@
+"""A systolic low-level-vision pipeline — the workload Warp was built for.
+
+Three single-cell sections process a stream of pixel rows:
+
+  stage 1 (cell 0): two-tap smoothing of each sample
+  stage 2 (cell 1): gradient (difference against the previous sample)
+  stage 3 (cell 2): magnitude thresholding
+
+Because the three section programs are different functions, the parallel
+compiler translates them concurrently — exactly the usage model that
+motivated the paper ("an application program for the Warp array contains
+different programs for different processing elements", §3).
+
+Run:  python examples/vision_pipeline.py
+"""
+
+from repro import ParallelCompiler, SequentialCompiler, run_module
+from repro.parallel import SerialBackend
+
+PIXELS = 24
+
+SOURCE = f"""
+module vision
+section smooth_stage (cells 0..0)
+  function smooth(center: float, side: float) : float
+  begin
+    return center * 0.5 + side * 0.5;
+  end
+  function main()
+  var v, prev: float; k: int;
+  begin
+    prev := 0.0;
+    for k := 1 to {PIXELS} do
+      receive(v);
+      send(smooth(v, prev));
+      prev := v;
+    end;
+  end
+end
+section gradient_stage (cells 1..1)
+  function main()
+  var v, prev: float; k: int;
+  begin
+    prev := 0.0;
+    for k := 1 to {PIXELS} do
+      receive(v);
+      send(sqrt((v - prev) * (v - prev)));
+      prev := v;
+    end;
+  end
+end
+section threshold_stage (cells 2..2)
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to {PIXELS} do
+      receive(v);
+      if v >= 0.15 then
+        send(1.0);
+      else
+        send(0.0);
+      end;
+    end;
+  end
+end
+end
+"""
+
+
+def synthetic_scanline():
+    """A step edge with noise-free ramps: pixels 0..23."""
+    row = []
+    for i in range(PIXELS):
+        if i < 8:
+            row.append(0.1)
+        elif i < 12:
+            row.append(0.1 + 0.2 * (i - 7))
+        else:
+            row.append(0.9)
+    return row
+
+
+def main() -> None:
+    compiler = SequentialCompiler()
+    result = compiler.compile(SOURCE)
+    print("sections compiled:")
+    for fn in result.profile.functions:
+        print(
+            f"  {fn.section_name}.{fn.name}: {fn.work_units} work units, "
+            f"{fn.bundles} bundles"
+        )
+
+    # The parallel compiler translates the three different section
+    # programs (and their functions) concurrently — same artifact.
+    parallel = ParallelCompiler(backend=SerialBackend()).compile(SOURCE)
+    assert parallel.digest == result.digest
+
+    row = synthetic_scanline()
+    outputs = run_module(result.download, row)
+    edge_map = outputs.output_floats()
+    print("input row :", " ".join(f"{v:.1f}" for v in row))
+    print("edge map  :", " ".join(f"{v:.0f}" for v in edge_map))
+    print(f"array time: {outputs.cycles} cycles for {PIXELS} pixels")
+    detected = [i for i, v in enumerate(edge_map) if v == 1.0]
+    print("edges detected at pixel positions:", detected)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Assembler: resolve block labels into bundle indices (phase 4 work).
+
+Assembly is cheap relative to optimization and code generation — the
+paper keeps it sequential for exactly that reason (§3.4: "the time spent
+in the assembly stage is short compared to the time spent on code
+generation") — but it must be deterministic: the section masters feed the
+assembler "the same input ... as the sequential compiler".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.instructions import Opcode
+from ..machine.resources import FUClass
+from .objformat import (
+    AssembledFunction,
+    Bundle,
+    MachineOp,
+    ObjectFunction,
+    ScheduledBlock,
+)
+
+
+class AssemblyError(Exception):
+    """A label could not be resolved or the layout is malformed."""
+
+
+def assemble_function(obj: ObjectFunction) -> AssembledFunction:
+    """Flatten blocks into one bundle list and resolve branch targets."""
+    label_to_index: Dict[str, int] = {}
+    index = 0
+    for block in obj.blocks:
+        if block.label in label_to_index:
+            raise AssemblyError(
+                f"duplicate label {block.label!r} in {obj.name!r}"
+            )
+        if not block.bundles:
+            raise AssemblyError(
+                f"empty block {block.label!r} in {obj.name!r}"
+            )
+        label_to_index[block.label] = index
+        index += len(block.bundles)
+
+    bundles: List[Bundle] = []
+    for block in obj.blocks:
+        for bundle in block.bundles:
+            bundles.append(_resolve_bundle(bundle, label_to_index, obj.name))
+
+    return AssembledFunction(
+        name=obj.name,
+        section_name=obj.section_name,
+        bundles=bundles,
+        param_regs=list(obj.param_regs),
+        return_bank=obj.return_bank,
+        frame_words=obj.frame_words,
+        info=obj.info,
+    )
+
+
+def _resolve_bundle(
+    bundle: Bundle, label_to_index: Dict[str, int], function_name: str
+) -> Bundle:
+    resolved = Bundle()
+    for op in bundle.all_ops():
+        if op.labels:
+            try:
+                targets = tuple(
+                    label_to_index[label] if isinstance(label, str) else label
+                    for label in op.labels
+                )
+            except KeyError as missing:
+                raise AssemblyError(
+                    f"unresolved label {missing.args[0]!r} in {function_name!r}"
+                ) from None
+            op = MachineOp(
+                op=op.op,
+                fu=op.fu,
+                latency=op.latency,
+                dest=op.dest,
+                operands=op.operands,
+                array_offset=op.array_offset,
+                array_name=op.array_name,
+                labels=targets,
+                callee=op.callee,
+            )
+        resolved.add(op)
+    return resolved
+
+
+def assembly_work_units(obj: ObjectFunction) -> int:
+    """Cost proxy for assembling one function: ops touched."""
+    return sum(len(b.ops) + 1 for block in obj.blocks for b in block.bundles)

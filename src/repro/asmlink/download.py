@@ -1,0 +1,76 @@
+"""Download-module construction and deterministic serialization.
+
+``build_download_module`` is the tail of phase 4: it replicates each
+section's linked program onto the cells that section claims.  The textual
+digest is the artifact our integration tests diff to prove the parallel
+compiler produces byte-identical output to the sequential compiler — the
+paper's §3.2 correctness requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .objformat import CellProgram, DownloadModule
+
+
+def build_download_module(
+    module_name: str,
+    section_cells: Dict[str, Tuple[int, int]],
+    programs: Dict[str, CellProgram],
+    diagnostics_text: str = "",
+) -> DownloadModule:
+    """Assign each section's program to its cell range."""
+    module = DownloadModule(
+        module_name=module_name, diagnostics_text=diagnostics_text
+    )
+    for section_name, (first, last) in section_cells.items():
+        program = programs.get(section_name)
+        if program is None:
+            raise KeyError(f"no linked program for section {section_name!r}")
+        for cell in range(first, last + 1):
+            module.cell_programs[cell] = program
+    return module
+
+
+def module_digest(module: DownloadModule) -> str:
+    """Deterministic, human-readable dump of a download module."""
+    lines: List[str] = [f"download-module {module.module_name}"]
+    for cell in sorted(module.cell_programs):
+        program = module.cell_programs[cell]
+        lines.append(
+            f"cell {cell}: section {program.section_name} "
+            f"entry={program.entry} data={program.data_words}"
+        )
+        for name in sorted(program.functions):
+            function = program.functions[name]
+            lines.append(
+                f"  {name}: frame@{program.frame_bases[name]} "
+                f"params=({', '.join(str(r) for r in function.param_regs)}) "
+                f"ret={function.return_bank or 'void'}"
+            )
+            for index, bundle in enumerate(function.bundles):
+                lines.append(f"    {index:4d} {bundle}")
+    if module.diagnostics_text:
+        lines.append("diagnostics:")
+        lines.append(module.diagnostics_text)
+    return "\n".join(lines)
+
+
+def module_size_words(module: DownloadModule) -> int:
+    """Rough download size: one word per operation plus headers.
+
+    Used by the cluster simulator to price moving the module from the
+    compile host to the Warp interface unit over the network.
+    """
+    total = 0
+    seen = set()
+    for program in module.cell_programs.values():
+        if id(program) in seen:
+            # Replicated sections download once per cell nonetheless.
+            pass
+        seen.add(id(program))
+        for function in program.functions.values():
+            for bundle in function.bundles:
+                total += 1 + len(bundle.ops)
+    return total

@@ -1,0 +1,249 @@
+"""``warpcc`` — command-line driver for the Warp parallel compiler.
+
+Subcommands:
+
+- ``warpcc compile FILE``: compile a module, print the compilation
+  report; ``--parallel`` uses the master/section/function-master
+  hierarchy with one OS process per function master.
+- ``warpcc run FILE --inputs 1,2,3``: compile and execute the program on
+  the simulated Warp array.
+- ``warpcc bench SIZE N``: the paper's S_n experiment for one point —
+  compile, replay both compilers on the simulated workstation network,
+  print speedup and overhead decomposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .asmlink.download import module_digest
+from .cluster.cluster import ClusterSimulation
+from .driver.master import ParallelCompiler
+from .driver.sequential import SequentialCompiler
+from .lang.diagnostics import CompileError
+from .machine.warp_array import WarpArrayModel
+from .metrics.overhead import compute_overhead
+from .parallel.local import ProcessPoolBackend, SerialBackend
+from .parallel.schedule import one_function_per_processor
+from .warpsim.array_runner import run_module
+from .workloads.sizes import SIZE_CLASSES
+from .workloads.synthetic import synthetic_program
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="warpcc",
+        description="Parallel compiler for the Warp systolic array "
+        "(PLDI 1989 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile a module")
+    compile_cmd.add_argument("file", help="source file (or '-' for stdin)")
+    compile_cmd.add_argument(
+        "-O", "--opt-level", type=int, default=2, choices=(0, 1, 2)
+    )
+    compile_cmd.add_argument(
+        "--parallel", action="store_true",
+        help="use the parallel compiler (master hierarchy)",
+    )
+    compile_cmd.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for --parallel (default: cores-1)",
+    )
+    compile_cmd.add_argument(
+        "--cells", type=int, default=10, help="cells in the target array"
+    )
+    compile_cmd.add_argument(
+        "--emit",
+        choices=("report", "digest", "driver", "binary"),
+        default="report",
+    )
+    compile_cmd.add_argument(
+        "-o", "--output", default=None,
+        help="output path for --emit binary (default: <module>.warp)",
+    )
+
+    run_cmd = sub.add_parser("run", help="compile and simulate a module")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument(
+        "--inputs", default="",
+        help="comma-separated input stream, e.g. 1.0,2.5,3",
+    )
+    run_cmd.add_argument(
+        "-O", "--opt-level", type=int, default=2, choices=(0, 1, 2)
+    )
+    run_cmd.add_argument("--cells", type=int, default=10)
+    run_cmd.add_argument(
+        "--max-cycles", type=int, default=5_000_000
+    )
+
+    disasm_cmd = sub.add_parser(
+        "disasm", help="disassemble a binary download module"
+    )
+    disasm_cmd.add_argument("file", help="a .warp file")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="one point of the paper's S_n experiment"
+    )
+    bench_cmd.add_argument(
+        "size", choices=sorted(SIZE_CLASSES), help="function size class"
+    )
+    bench_cmd.add_argument("functions", type=int, help="number of functions")
+    bench_cmd.add_argument(
+        "--processors", type=int, default=None,
+        help="workstations (default: one per function)",
+    )
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_compile(args) -> int:
+    source = _read_source(args.file)
+    array = WarpArrayModel(cell_count=args.cells)
+    try:
+        if args.parallel:
+            backend = (
+                ProcessPoolBackend(args.jobs)
+                if args.jobs is None or args.jobs > 1
+                else SerialBackend()
+            )
+            result = ParallelCompiler(
+                backend=backend, array=array, opt_level=args.opt_level
+            ).compile(source, filename=args.file)
+        else:
+            result = SequentialCompiler(
+                array=array, opt_level=args.opt_level
+            ).compile(source, filename=args.file)
+    except CompileError as error:
+        for diagnostic in error.diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
+        return 1
+
+    if result.diagnostics_text:
+        print(result.diagnostics_text, file=sys.stderr)
+    if args.emit == "digest":
+        print(result.digest)
+    elif args.emit == "binary":
+        from .asmlink.encode import write_module
+
+        path = args.output or f"{result.module_name}.warp"
+        size = write_module(result.download, path)
+        print(f"wrote {path}: {size} bytes, "
+              f"{result.download.cells_used} cell(s)")
+    elif args.emit == "driver":
+        from .asmlink.iodriver import build_io_driver
+
+        print(build_io_driver(result.download.cell_programs).describe())
+    else:
+        for line in result.report_lines():
+            print(line)
+        print(f"download module: {result.download.cells_used} cell(s), "
+              f"{result.profile.download_words} words")
+    return 0
+
+
+def _parse_inputs(text: str) -> List[float]:
+    if not text.strip():
+        return []
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _is_binary_module(path: str) -> bool:
+    if path == "-":
+        return False
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(4) == b"WARP"
+    except OSError:
+        return False
+
+
+def _cmd_run(args) -> int:
+    array = WarpArrayModel(cell_count=args.cells)
+    if _is_binary_module(args.file):
+        from .asmlink.encode import read_module
+
+        download = read_module(args.file)
+    else:
+        source = _read_source(args.file)
+        try:
+            result = SequentialCompiler(
+                array=array, opt_level=args.opt_level
+            ).compile(source, filename=args.file)
+        except CompileError as error:
+            for diagnostic in error.diagnostics:
+                print(diagnostic.render(), file=sys.stderr)
+            return 1
+        download = result.download
+    outcome = run_module(
+        download,
+        _parse_inputs(args.inputs),
+        array=array,
+        max_cycles=args.max_cycles,
+    )
+    print("outputs:", " ".join(repr(v) for v in outcome.outputs))
+    print(f"cycles: {outcome.cycles}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    source = synthetic_program(args.size, args.functions)
+    result = SequentialCompiler().compile(source)
+    sim = ClusterSimulation()
+    sequential = sim.run_sequential(result.profile)
+    from .parallel.schedule import fcfs_assignment
+
+    if args.processors is None:
+        assignment = one_function_per_processor(result.profile.functions)
+    else:
+        assignment = fcfs_assignment(
+            result.profile.functions, args.processors
+        )
+    parallel = sim.run_parallel(result.profile, assignment)
+    workers = min(len(result.profile.functions), assignment.processors)
+    overhead = compute_overhead(sequential, parallel, workers)
+    print(f"workload: {args.functions} x f_{args.size} "
+          f"on {assignment.processors} workstation(s)")
+    print(f"sequential elapsed: {sequential.elapsed:10.1f} virtual s")
+    print(f"parallel elapsed:   {parallel.elapsed:10.1f} virtual s")
+    print(f"speedup:            {sequential.elapsed / parallel.elapsed:10.2f}")
+    print(f"total overhead:     {overhead.relative_total:9.1f}% of parallel time")
+    print(f"system overhead:    {overhead.relative_system:9.1f}%")
+    print(f"implementation:     {overhead.relative_implementation:9.1f}%")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from .asmlink.encode import FormatError, read_module
+
+    try:
+        module = read_module(args.file)
+    except (FormatError, OSError) as error:
+        print(f"warpcc: {error}", file=sys.stderr)
+        return 1
+    print(module_digest(module))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "disasm":
+        return _cmd_disasm(args)
+    return _cmd_bench(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

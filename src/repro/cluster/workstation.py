@@ -1,0 +1,59 @@
+"""Workstations: named CPUs with busy-time accounting.
+
+CPU work is modeled as plain delays (one compile process per workstation
+at a time — the FIFO task chain the drivers build), so a workstation just
+accumulates how many CPU-seconds it spent.  Contended resources (Ethernet,
+file server) live in :mod:`repro.cluster.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from .events import Simulator
+
+
+@dataclass
+class Workstation:
+    """One diskless SUN: a CPU plus accounting.
+
+    ``speed`` models background load from the workstation's owner ("these
+    workstations are in individual offices, but not all workstations are
+    in use at all times", §3.3): a machine at speed 0.5 takes twice the
+    wall-clock time for the same CPU demand.
+    """
+
+    name: str
+    sim: Simulator
+    speed: float = 1.0
+    cpu_busy: float = 0.0
+    free_at: float = 0.0
+
+    def run_cpu(self, seconds: float, done: Callable[[], None]) -> None:
+        """Burn ``seconds`` of CPU demand starting now; then call ``done``."""
+        if seconds < 0:
+            raise ValueError(f"negative CPU demand {seconds}")
+        if self.speed <= 0:
+            raise ValueError(f"machine {self.name!r} has no CPU speed")
+        wall = seconds / self.speed
+        self.cpu_busy += wall
+        self.sim.schedule(wall, done)
+
+
+class MachinePool:
+    """The set of workstations participating in one compilation."""
+
+    def __init__(self, sim: Simulator, names, speeds=None):
+        self.sim = sim
+        speeds = speeds or {}
+        self.machines: Dict[str, Workstation] = {
+            name: Workstation(name, sim, speed=speeds.get(name, 1.0))
+            for name in names
+        }
+
+    def __getitem__(self, name: str) -> Workstation:
+        return self.machines[name]
+
+    def busy_times(self) -> Dict[str, float]:
+        return {name: m.cpu_busy for name, m in self.machines.items()}

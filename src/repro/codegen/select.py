@@ -1,0 +1,97 @@
+"""Instruction selection: allocated IR -> machine operations.
+
+The Warp cell's operation repertoire matches the IR closely, so selection
+is mostly a typed table lookup that (a) binds virtual registers to the
+physical registers chosen by the allocator, (b) materializes immediates in
+place (the cell has immediate fields on every unit), and (c) resolves
+frame arrays to frame-relative word offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asmlink.objformat import MachineOp, MachineOperand
+from ..ir.cfg import BasicBlock, FunctionIR
+from ..ir.instructions import Instr, Opcode
+from ..ir.values import Const, IR_FLOAT, IR_INT, VReg
+from ..machine.resources import FUClass, PhysReg
+from ..machine.warp_cell import WarpCellModel
+from .regalloc import AllocationResult
+
+
+@dataclass
+class SelectedBlock:
+    """Machine ops for one basic block, pre-scheduling."""
+
+    label: str
+    ops: List[MachineOp] = field(default_factory=list)
+
+
+def select_function(
+    function: FunctionIR,
+    allocation: AllocationResult,
+    cell: WarpCellModel,
+) -> List[SelectedBlock]:
+    """Translate every block's IR to machine operations."""
+    return [
+        SelectedBlock(
+            label=block.name,
+            ops=[_select(instr, allocation, cell) for instr in block.instructions],
+        )
+        for block in function.blocks
+    ]
+
+
+def _operand(value, allocation: AllocationResult) -> MachineOperand:
+    if isinstance(value, VReg):
+        return allocation.reg_for(value)
+    if isinstance(value, Const):
+        return value.value
+    raise TypeError(f"unexpected IR operand {value!r}")
+
+
+def _select(
+    instr: Instr, allocation: AllocationResult, cell: WarpCellModel
+) -> MachineOp:
+    dest = allocation.reg_for(instr.dest) if instr.dest is not None else None
+    operands = tuple(_operand(v, allocation) for v in instr.operands)
+    array_offset = instr.array.offset if instr.array is not None else None
+    array_name = instr.array.name if instr.array is not None else None
+
+    result_type = instr.dest.type if instr.dest is not None else _value_type(instr)
+    operand_type = _operand_ir_type(instr)
+    spec = cell.spec_for(instr.op, result_type, operand_type)
+    return MachineOp(
+        op=instr.op,
+        fu=spec.fu,
+        latency=spec.latency,
+        dest=dest,
+        operands=operands,
+        array_offset=array_offset,
+        array_name=array_name,
+        labels=instr.labels,
+        callee=instr.callee,
+    )
+
+
+def _value_type(instr: Instr) -> str:
+    """IR type used to pick the functional unit for dest-less operations."""
+    if instr.op is Opcode.STORE:
+        return instr.operands[1].type
+    if instr.op is Opcode.SEND:
+        return instr.operands[0].type
+    if instr.op is Opcode.RET and instr.operands:
+        return instr.operands[0].type
+    return IR_INT
+
+
+def _operand_ir_type(instr: Instr) -> Optional[str]:
+    """The widest operand type (routes float compares to the float adder)."""
+    types = {v.type for v in instr.operands if isinstance(v, (VReg, Const))}
+    if IR_FLOAT in types:
+        return IR_FLOAT
+    if types:
+        return IR_INT
+    return None

@@ -1,0 +1,41 @@
+"""Compiler drivers: sequential and parallel (master hierarchy)."""
+
+from .function_master import (
+    FunctionTask,
+    FunctionTaskResult,
+    run_compile_task,
+    run_function_master,
+)
+from .master import ParallelCompiler
+from .phases import (
+    ParsedProgram,
+    compile_one_function,
+    phase1_parse_and_check,
+    phase4_link_and_download,
+)
+from .results import CompilationResult, FunctionReport, WorkProfile
+from .section_master import (
+    CombinedSection,
+    SectionCombineError,
+    combine_section_results,
+)
+from .sequential import SequentialCompiler
+
+__all__ = [
+    "CombinedSection",
+    "CompilationResult",
+    "FunctionReport",
+    "FunctionTask",
+    "FunctionTaskResult",
+    "ParallelCompiler",
+    "ParsedProgram",
+    "SectionCombineError",
+    "SequentialCompiler",
+    "WorkProfile",
+    "combine_section_results",
+    "compile_one_function",
+    "phase1_parse_and_check",
+    "phase4_link_and_download",
+    "run_compile_task",
+    "run_function_master",
+]

@@ -1,0 +1,109 @@
+"""Function masters: the per-function worker processes.
+
+"The number of processes on the function level ... is equal to the total
+number of functions in the program.  Function masters are Common Lisp
+processes.  The task of a function master is to implement phases 2 and 3
+of the compiler" (§3.2).
+
+Our function masters are Python processes (or in-process calls for the
+serial backend).  Each worker receives a small, picklable
+:class:`FunctionTask`, re-derives phase-1 state from the source text (the
+moral equivalent of a fresh Lisp process interpreting its initializing
+information), compiles exactly one function, and ships the object code
+back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..asmlink.objformat import ObjectFunction
+from ..machine.warp_array import WarpArrayModel
+from .phases import compile_one_function, phase1_parse_and_check
+from .results import FunctionReport
+
+
+@dataclass
+class FunctionTask:
+    """Everything a function master needs, cheap to pickle.
+
+    ``function_name`` of None makes this a *section-level* task: one
+    worker compiles every function of the section.  That was the paper's
+    original plan ("to parallelize only the compilation of programs for
+    different sections", §3.1) before the authors realized functions
+    could be compiled independently too.
+    """
+
+    source_text: str
+    filename: str
+    section_name: str
+    function_name: Optional[str] = None
+    opt_level: int = 2
+    cell_count: int = 10
+
+
+@dataclass
+class FunctionTaskResult:
+    """What a function master sends back to its section master."""
+
+    section_name: str
+    function_name: str
+    obj: ObjectFunction
+    report: FunctionReport
+    diagnostics: List[str] = field(default_factory=list)
+
+
+def run_function_master(task: FunctionTask) -> FunctionTaskResult:
+    """Entry point of one function master (picklable module-level fn)."""
+    if task.function_name is None:
+        raise ValueError(
+            "section-level tasks must go through run_compile_task"
+        )
+    parsed = phase1_parse_and_check(task.source_text, task.filename)
+    array = WarpArrayModel(cell_count=task.cell_count)
+    obj, report = compile_one_function(
+        parsed,
+        task.section_name,
+        task.function_name,
+        array,
+        task.opt_level,
+    )
+    return FunctionTaskResult(
+        section_name=task.section_name,
+        function_name=task.function_name,
+        obj=obj,
+        report=report,
+        diagnostics=[d.render() for d in parsed.sink.diagnostics],
+    )
+
+
+def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
+    """Worker entry point for both granularities.
+
+    A function-level task yields one result; a section-level task
+    (``function_name is None``) compiles every function of its section in
+    source order within one worker process.
+    """
+    if task.function_name is not None:
+        return [run_function_master(task)]
+    parsed = phase1_parse_and_check(task.source_text, task.filename)
+    section = parsed.module.section_named(task.section_name)
+    if section is None:
+        raise KeyError(f"no section named {task.section_name!r}")
+    array = WarpArrayModel(cell_count=task.cell_count)
+    results: List[FunctionTaskResult] = []
+    for function in section.functions:
+        obj, report = compile_one_function(
+            parsed, task.section_name, function.name, array, task.opt_level
+        )
+        results.append(
+            FunctionTaskResult(
+                section_name=task.section_name,
+                function_name=function.name,
+                obj=obj,
+                report=report,
+                diagnostics=[d.render() for d in parsed.sink.diagnostics],
+            )
+        )
+    return results

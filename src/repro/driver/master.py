@@ -1,0 +1,134 @@
+"""The master process: the top of the parallel compiler's hierarchy.
+
+"The master level consists of exactly one process, the master that
+controls the entire compilation ... it invokes a Common Lisp process that
+parses the Warp program to obtain enough information to set up the
+parallel compilation.  Thus, the master knows the structure of the
+program and therefore the total number of processes involved in one
+compilation" (§3.2).
+
+Our master: parses and checks once (aborting on errors), builds one
+:class:`FunctionTask` per function, hands them to an execution backend,
+lets section masters recombine per-section results in source order, and
+runs the sequential phase-4 tail.  The output is bit-identical to the
+sequential compiler's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..asmlink.download import module_digest, module_size_words
+from ..asmlink.objformat import ObjectFunction
+from ..machine.warp_array import WarpArrayModel
+from ..parallel.backend import ExecutionBackend
+from ..parallel.local import SerialBackend
+from .function_master import FunctionTask, FunctionTaskResult
+from .phases import ParsedProgram, phase1_parse_and_check, phase4_link_and_download
+from .results import CompilationResult, WorkProfile
+from .section_master import CombinedSection, combine_section_results
+
+
+class ParallelCompiler:
+    """Master / section-master / function-master parallel compilation."""
+
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        array: Optional[WarpArrayModel] = None,
+        opt_level: int = 2,
+        granularity: str = "function",
+    ):
+        if granularity not in ("function", "section"):
+            raise ValueError(
+                f"granularity must be 'function' or 'section', "
+                f"got {granularity!r}"
+            )
+        self.backend = backend if backend is not None else SerialBackend()
+        self.array = array or WarpArrayModel()
+        self.opt_level = opt_level
+        #: "function" (the paper's final design) or "section" (its
+        #: original plan, §3.1) — section granularity is coarser: one
+        #: worker per section program.
+        self.granularity = granularity
+
+    def compile(
+        self, source_text: str, filename: str = "<input>"
+    ) -> CompilationResult:
+        # Master: one extra parse of the whole program to determine the
+        # partitioning; syntax/semantic errors abort here.
+        parsed = phase1_parse_and_check(source_text, filename)
+        tasks = self._build_tasks(parsed, source_text, filename)
+        results = self.backend.run_tasks(tasks)
+
+        # Section masters: recombine in source order.
+        by_section: Dict[str, List[FunctionTaskResult]] = {}
+        for result in results:
+            by_section.setdefault(result.section_name, []).append(result)
+        combined: Dict[str, CombinedSection] = {}
+        for section in parsed.module.sections:
+            combined[section.name] = combine_section_results(
+                section, by_section.get(section.name, [])
+            )
+
+        profile = WorkProfile(
+            parse_work=parsed.parse_work,
+            sema_work=parsed.sema_work,
+            source_lines=parsed.source_lines,
+        )
+        objects: Dict[str, List[ObjectFunction]] = {}
+        diagnostics: List[str] = []
+        for section in parsed.module.sections:
+            section_result = combined[section.name]
+            objects[section.name] = section_result.objects
+            profile.functions.extend(section_result.reports)
+            diagnostics.extend(section_result.diagnostics)
+
+        diagnostics_text = parsed.sink.render()
+        module, assembly_work, link_work = phase4_link_and_download(
+            parsed, objects, self.array, diagnostics_text
+        )
+        profile.assembly_work = assembly_work
+        profile.link_work = link_work
+        profile.download_words = module_size_words(module)
+
+        all_objects = [obj for section in parsed.module.sections
+                       for obj in objects[section.name]]
+        return CompilationResult(
+            module_name=parsed.module.name,
+            download=module,
+            digest=module_digest(module),
+            diagnostics_text=diagnostics_text,
+            profile=profile,
+            objects=all_objects,
+        )
+
+    def _build_tasks(
+        self, parsed: ParsedProgram, source_text: str, filename: str
+    ) -> List[FunctionTask]:
+        tasks: List[FunctionTask] = []
+        for section in parsed.module.sections:
+            if self.granularity == "section":
+                tasks.append(
+                    FunctionTask(
+                        source_text=source_text,
+                        filename=filename,
+                        section_name=section.name,
+                        function_name=None,
+                        opt_level=self.opt_level,
+                        cell_count=self.array.cell_count,
+                    )
+                )
+                continue
+            for function in section.functions:
+                tasks.append(
+                    FunctionTask(
+                        source_text=source_text,
+                        filename=filename,
+                        section_name=section.name,
+                        function_name=function.name,
+                        opt_level=self.opt_level,
+                        cell_count=self.array.cell_count,
+                    )
+                )
+        return tasks

@@ -1,0 +1,163 @@
+"""The four compiler phases (paper §3.2).
+
+1. parsing and semantic checking (sequential; needs the whole section);
+2. flowgraph construction, local optimization, global dependencies;
+3. software pipelining and code generation;
+4. I/O driver generation, assembly, and post-processing (linking,
+   download-module construction).
+
+Phases 2 and 3 run per function — :func:`compile_one_function` is the
+exact unit of work a function master executes.  Phases 1 and 4 are cheap
+("less than 5% ... on parsing") and stay sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..asmlink.download import build_download_module, module_size_words
+from ..asmlink.iodriver import build_io_driver
+from ..asmlink.linker import link_section, link_work_units
+from ..asmlink.assembler import assembly_work_units
+from ..asmlink.objformat import DownloadModule, ObjectFunction
+from ..codegen.compiler import compile_function
+from ..ir.lowering import lower_function
+from ..ir.loops import loop_nest_weight
+from ..lang import ast_nodes as ast
+from ..lang.diagnostics import CompileError, DiagnosticSink
+from ..lang.lexer import tokenize
+from ..lang.parser import Parser
+from ..lang.sema import SemaResult, check_module
+from ..lang.source import SourceFile
+from ..machine.warp_array import WarpArrayModel
+from .results import FunctionReport
+
+
+@dataclass
+class ParsedProgram:
+    """Phase-1 output: the checked AST plus partitioning information."""
+
+    module: ast.Module
+    sema: SemaResult
+    sink: DiagnosticSink
+    parse_work: int
+    sema_work: int
+    source_lines: int
+
+
+def phase1_parse_and_check(
+    source_text: str, filename: str = "<input>"
+) -> ParsedProgram:
+    """Parse and semantically check; raises CompileError on any error.
+
+    This is what the master runs "to obtain enough information to set up
+    the parallel compilation ... if there are any syntax or semantic
+    errors in the program, they are discovered at this time and the
+    compilation is aborted."
+    """
+    source = SourceFile(filename, source_text)
+    sink = DiagnosticSink()
+    tokens = tokenize(source, sink)
+    module = Parser(tokens, sink).parse_module()
+    if sink.has_errors:
+        raise CompileError(sink.diagnostics)
+    sema = check_module(module, sink)
+    if sink.has_errors:
+        raise CompileError(sink.diagnostics)
+    # Work proxies: tokens for scanning/parsing, statements for checking.
+    parse_work = len(tokens)
+    sema_work = _ast_size(module)
+    return ParsedProgram(
+        module=module,
+        sema=sema,
+        sink=sink,
+        parse_work=parse_work,
+        sema_work=sema_work,
+        source_lines=source.count_lines(),
+    )
+
+
+def _ast_size(module: ast.Module) -> int:
+    """Statement-level size proxy for semantic-checking work."""
+    total = 0
+    for _section, fn in module.all_functions():
+        total += 2 + len(fn.params) + len(fn.locals) + _stmt_count(fn.body)
+    return total
+
+
+def _stmt_count(stmts: List[ast.Stmt]) -> int:
+    count = 0
+    for stmt in stmts:
+        count += 1
+        if isinstance(stmt, ast.IfStmt):
+            count += _stmt_count(stmt.then_body) + _stmt_count(stmt.else_body)
+        elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt)):
+            count += _stmt_count(stmt.body)
+    return count
+
+
+def compile_one_function(
+    parsed: ParsedProgram,
+    section_name: str,
+    function_name: str,
+    array: WarpArrayModel,
+    opt_level: int = 2,
+) -> Tuple[ObjectFunction, FunctionReport]:
+    """Phases 2+3 for exactly one function (a function master's job)."""
+    section = parsed.module.section_named(section_name)
+    if section is None:
+        raise KeyError(f"no section named {section_name!r}")
+    function = section.function_named(function_name)
+    if function is None:
+        raise KeyError(
+            f"no function {function_name!r} in section {section_name!r}"
+        )
+    fn_ir = lower_function(section, function, parsed.sema)
+    ir_size = fn_ir.instruction_count()
+    weight = loop_nest_weight(fn_ir)
+    obj = compile_function(fn_ir, array.cell, opt_level=opt_level)
+    report = FunctionReport(
+        section_name=section_name,
+        name=function_name,
+        source_lines=function.line_count(),
+        ir_instructions=ir_size,
+        loop_weight=weight,
+        work_units=obj.info.work_units,
+        bundles=obj.bundle_count(),
+        pipelined_loops=obj.info.pipelined_loops,
+        initiation_intervals=list(obj.info.initiation_intervals),
+        frame_words=obj.frame_words,
+    )
+    return obj, report
+
+
+def phase4_link_and_download(
+    parsed: ParsedProgram,
+    objects: Dict[str, List[ObjectFunction]],
+    array: WarpArrayModel,
+    diagnostics_text: str = "",
+) -> Tuple[DownloadModule, int, int]:
+    """Assembly, linking, I/O driver, download module (sequential tail).
+
+    ``objects`` maps section name -> object functions in source order.
+    Returns (module, assembly work, link work).
+    """
+    section_cells: Dict[str, Tuple[int, int]] = {}
+    programs = {}
+    assembly_work = 0
+    link_work = 0
+    for section in parsed.module.sections:
+        array.validate_section_range(section.first_cell, section.last_cell)
+        section_cells[section.name] = (section.first_cell, section.last_cell)
+        section_objects = objects[section.name]
+        assembly_work += sum(assembly_work_units(o) for o in section_objects)
+        link_work += link_work_units(section_objects)
+        programs[section.name] = link_section(
+            section.name, section_objects, array.cell
+        )
+    module = build_download_module(
+        parsed.module.name, section_cells, programs, diagnostics_text
+    )
+    build_io_driver(module.cell_programs)  # validates I/O wiring
+    return module, assembly_work, link_work

@@ -1,0 +1,97 @@
+"""Result types shared by the sequential and parallel drivers.
+
+A compilation produces, besides the download module, a *work profile*:
+deterministic per-phase work counts the workstation-cluster simulator
+prices into virtual seconds.  The parallel and sequential compilers emit
+identical artifacts (the paper's correctness requirement) and identical
+work profiles — what differs is how the work is laid out over processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..asmlink.objformat import DownloadModule, ObjectFunction
+
+
+@dataclass
+class FunctionReport:
+    """Everything the schedulers and the cost model know about one
+    function's compilation."""
+
+    section_name: str
+    name: str
+    source_lines: int
+    ir_instructions: int
+    loop_weight: int
+    work_units: int  # phases 2+3 (optimize + allocate + schedule)
+    bundles: int
+    pipelined_loops: int
+    initiation_intervals: List[int] = field(default_factory=list)
+    frame_words: int = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.section_name, self.name)
+
+
+@dataclass
+class WorkProfile:
+    """Deterministic work counts for one module compilation."""
+
+    parse_work: int = 0
+    sema_work: int = 0
+    functions: List[FunctionReport] = field(default_factory=list)
+    assembly_work: int = 0
+    link_work: int = 0
+    download_words: int = 0
+    #: total source lines (proxy for file-reading cost)
+    source_lines: int = 0
+
+    def function_work(self) -> int:
+        return sum(f.work_units for f in self.functions)
+
+    def total_work(self) -> int:
+        return (
+            self.parse_work
+            + self.sema_work
+            + self.function_work()
+            + self.assembly_work
+            + self.link_work
+        )
+
+    def by_section(self) -> Dict[str, List[FunctionReport]]:
+        sections: Dict[str, List[FunctionReport]] = {}
+        for report in self.functions:
+            sections.setdefault(report.section_name, []).append(report)
+        return sections
+
+
+@dataclass
+class CompilationResult:
+    """The complete outcome of compiling one module."""
+
+    module_name: str
+    download: DownloadModule
+    digest: str
+    diagnostics_text: str
+    profile: WorkProfile
+    objects: List[ObjectFunction] = field(default_factory=list)
+
+    def report_lines(self) -> List[str]:
+        lines = [
+            f"module {self.module_name}: "
+            f"{len(self.profile.functions)} function(s), "
+            f"total work {self.profile.total_work()}"
+        ]
+        for fn in self.profile.functions:
+            ii_text = (
+                f" II={fn.initiation_intervals}" if fn.initiation_intervals else ""
+            )
+            lines.append(
+                f"  {fn.section_name}.{fn.name}: {fn.source_lines} lines, "
+                f"{fn.work_units} work units, {fn.bundles} bundles, "
+                f"{fn.pipelined_loops} pipelined loop(s){ii_text}"
+            )
+        return lines

@@ -1,0 +1,77 @@
+"""Section masters: recombination of per-function results.
+
+"When code has been generated for each function of the section, the
+section master combines the results so that the parallel compiler
+produces the same input for the assembly phase as the sequential
+compiler.  Furthermore, the section master process is responsible to
+combine the diagnostic output" (§3.2).
+
+Function masters finish in arbitrary order; the section master restores
+*source order*, which is what makes the parallel compiler's output
+bit-identical to the sequential one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..asmlink.objformat import ObjectFunction
+from ..lang import ast_nodes as ast
+from .function_master import FunctionTaskResult
+from .results import FunctionReport
+
+
+class SectionCombineError(Exception):
+    """Results do not cover the section's functions exactly."""
+
+
+@dataclass
+class CombinedSection:
+    """A section's recombined compilation output, in source order."""
+
+    section_name: str
+    objects: List[ObjectFunction] = field(default_factory=list)
+    reports: List[FunctionReport] = field(default_factory=list)
+    diagnostics: List[str] = field(default_factory=list)
+    #: work proxy for the recombination itself (drives the cost model)
+    combine_work: int = 0
+
+
+def combine_section_results(
+    section: ast.Section, results: List[FunctionTaskResult]
+) -> CombinedSection:
+    """Restore source order and merge diagnostics for one section."""
+    by_name: Dict[str, FunctionTaskResult] = {}
+    for result in results:
+        if result.section_name != section.name:
+            raise SectionCombineError(
+                f"result for {result.section_name}.{result.function_name} "
+                f"delivered to section master {section.name!r}"
+            )
+        if result.function_name in by_name:
+            raise SectionCombineError(
+                f"duplicate result for function {result.function_name!r}"
+            )
+        by_name[result.function_name] = result
+
+    expected = [fn.name for fn in section.functions]
+    missing = [name for name in expected if name not in by_name]
+    if missing:
+        raise SectionCombineError(
+            f"section {section.name!r} missing results for {missing}"
+        )
+    extra = [name for name in by_name if name not in expected]
+    if extra:
+        raise SectionCombineError(
+            f"section {section.name!r} got unexpected results for {extra}"
+        )
+
+    combined = CombinedSection(section_name=section.name)
+    for name in expected:
+        result = by_name[name]
+        combined.objects.append(result.obj)
+        combined.reports.append(result.report)
+        combined.diagnostics.extend(result.diagnostics)
+        combined.combine_work += result.obj.bundle_count() + 1
+    return combined

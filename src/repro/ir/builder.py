@@ -1,0 +1,117 @@
+"""IR construction helper used by lowering and by tests.
+
+The builder tracks a current insertion block and provides typed emit
+helpers.  It also owns label generation, so block names are deterministic
+for a given construction order — a requirement for the parallel compiler,
+whose per-function output must be bit-identical to the sequential
+compiler's (paper §3.2: the section master must produce "the same input
+for the assembly phase as the sequential compiler").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .cfg import BasicBlock, FunctionIR
+from .instructions import Instr, Opcode
+from .values import Const, FrameArray, IR_FLOAT, IR_INT, Value, VReg
+
+
+class IRBuilder:
+    """Builds one :class:`FunctionIR` incrementally."""
+
+    def __init__(self, function: FunctionIR):
+        self.function = function
+        self._label_counters: Dict[str, int] = {}
+        self._current: Optional[BasicBlock] = None
+
+    # -- blocks -------------------------------------------------------------
+
+    def new_block(self, hint: str) -> BasicBlock:
+        """Create (but do not enter) a new uniquely named block."""
+        count = self._label_counters.get(hint, 0)
+        self._label_counters[hint] = count + 1
+        name = hint if count == 0 else f"{hint}.{count}"
+        block = BasicBlock(name)
+        self.function.blocks.append(block)
+        return block
+
+    def set_block(self, block: BasicBlock) -> None:
+        self._current = block
+
+    @property
+    def current_block(self) -> BasicBlock:
+        if self._current is None:
+            raise ValueError("no current block set")
+        return self._current
+
+    def block_terminated(self) -> bool:
+        return self.current_block.terminator is not None
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        block = self.current_block
+        if block.terminator is not None:
+            raise ValueError(f"emitting into terminated block {block.name!r}")
+        block.instructions.append(instr)
+        return instr
+
+    def vreg(self, ir_type: str) -> VReg:
+        return self.function.new_vreg(ir_type)
+
+    def li(self, value, ir_type: str) -> VReg:
+        dest = self.vreg(ir_type)
+        self.emit(Instr(Opcode.LI, dest=dest, operands=(Const(value, ir_type),)))
+        return dest
+
+    def mov(self, dest: VReg, source: Value) -> None:
+        self.emit(Instr(Opcode.MOV, dest=dest, operands=(source,)))
+
+    def unary(self, op: Opcode, operand: Value, result_type: str) -> VReg:
+        dest = self.vreg(result_type)
+        self.emit(Instr(op, dest=dest, operands=(operand,)))
+        return dest
+
+    def binary(self, op: Opcode, left: Value, right: Value, result_type: str) -> VReg:
+        dest = self.vreg(result_type)
+        self.emit(Instr(op, dest=dest, operands=(left, right)))
+        return dest
+
+    def itof(self, value: Value) -> VReg:
+        return self.unary(Opcode.ITOF, value, IR_FLOAT)
+
+    def load(self, array: FrameArray, index: Value) -> VReg:
+        dest = self.vreg(array.element_type)
+        self.emit(Instr(Opcode.LOAD, dest=dest, operands=(index,), array=array))
+        return dest
+
+    def store(self, array: FrameArray, index: Value, value: Value) -> None:
+        self.emit(Instr(Opcode.STORE, operands=(index, value), array=array))
+
+    def call(self, callee: str, args: Tuple[Value, ...], result_type: Optional[str]) -> Optional[VReg]:
+        dest = self.vreg(result_type) if result_type is not None else None
+        self.emit(Instr(Opcode.CALL, dest=dest, operands=args, callee=callee))
+        return dest
+
+    def send(self, value: Value) -> None:
+        self.emit(Instr(Opcode.SEND, operands=(value,)))
+
+    def recv(self, ir_type: str) -> VReg:
+        dest = self.vreg(ir_type)
+        self.emit(Instr(Opcode.RECV, dest=dest))
+        return dest
+
+    # -- terminators ---------------------------------------------------------
+
+    def jmp(self, target: BasicBlock) -> None:
+        self.emit(Instr(Opcode.JMP, labels=(target.name,)))
+
+    def br(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> None:
+        self.emit(
+            Instr(Opcode.BR, operands=(cond,), labels=(if_true.name, if_false.name))
+        )
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        operands = (value,) if value is not None else ()
+        self.emit(Instr(Opcode.RET, operands=operands))

@@ -1,0 +1,40 @@
+"""Textual IR dump, for debugging, diffing, and golden tests.
+
+The printed form is deterministic: equal IR prints equally.  The parallel
+compiler's integration tests diff these dumps between the sequential and
+parallel paths to prove bit-identical phase-2/3 output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import FunctionIR, ModuleIR
+
+
+def print_function(function: FunctionIR) -> str:
+    lines: List[str] = []
+    params = ", ".join(str(r) for r in function.param_regs)
+    ret = function.return_type or "void"
+    lines.append(
+        f"func {function.section_name}.{function.name}({params}) -> {ret}"
+    )
+    for array in function.arrays:
+        lines.append(
+            f"  frame {array.name}: {array.element_type}[{array.length}] "
+            f"@ {array.offset}"
+        )
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        lines.extend(f"  {instr}" for instr in block.instructions)
+    return "\n".join(lines)
+
+
+def print_module(module: ModuleIR) -> str:
+    parts: List[str] = [f"module {module.name}"]
+    for section_name, functions in module.functions.items():
+        first, last = module.section_cells[section_name]
+        parts.append(f"section {section_name} (cells {first}..{last})")
+        for fn in functions:
+            parts.append(print_function(fn))
+    return "\n\n".join(parts)

@@ -1,0 +1,133 @@
+"""Hand-written lexer for the W2-like Warp source language.
+
+Comments run from ``--`` to end of line.  Identifiers are ASCII letters,
+digits and underscores, starting with a letter or underscore.  Numbers are
+decimal; a number containing ``.`` or an exponent is a float literal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .diagnostics import DiagnosticSink
+from .source import SourceFile, Span
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class Lexer:
+    """Converts a :class:`SourceFile` into a token stream."""
+
+    def __init__(self, source: SourceFile, sink: DiagnosticSink):
+        self._source = source
+        self._text = source.text
+        self._sink = sink
+        self._pos = 0
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole file, ending with exactly one EOF token."""
+        result = list(self._iter_tokens())
+        result.append(self._make_token(TokenKind.EOF, self._pos, self._pos))
+        return result
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._text):
+                return
+            start = self._pos
+            ch = self._text[start]
+            if ch.isalpha() or ch == "_":
+                yield self._lex_word(start)
+            elif ch.isdigit():
+                yield self._lex_number(start)
+            else:
+                token = self._lex_operator(start)
+                if token is not None:
+                    yield token
+
+    def _skip_trivia(self) -> None:
+        """Advance past whitespace and ``--`` comments."""
+        text = self._text
+        while self._pos < len(text):
+            ch = text[self._pos]
+            if ch in " \t\r\n":
+                self._pos += 1
+            elif text.startswith("--", self._pos):
+                newline = text.find("\n", self._pos)
+                self._pos = len(text) if newline < 0 else newline + 1
+            else:
+                return
+
+    def _lex_word(self, start: int) -> Token:
+        text = self._text
+        end = start
+        while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+            end += 1
+        self._pos = end
+        word = text[start:end]
+        kind = KEYWORDS.get(word, TokenKind.IDENT)
+        value = word if kind is TokenKind.IDENT else None
+        return self._make_token(kind, start, end, value)
+
+    def _lex_number(self, start: int) -> Token:
+        text = self._text
+        end = start
+        while end < len(text) and text[end].isdigit():
+            end += 1
+        is_float = False
+        # A '.' starts a fraction only if not the '..' range operator.
+        if end < len(text) and text[end] == "." and not text.startswith("..", end):
+            is_float = True
+            end += 1
+            while end < len(text) and text[end].isdigit():
+                end += 1
+        if end < len(text) and text[end] in "eE":
+            exp_end = end + 1
+            if exp_end < len(text) and text[exp_end] in "+-":
+                exp_end += 1
+            if exp_end < len(text) and text[exp_end].isdigit():
+                is_float = True
+                end = exp_end
+                while end < len(text) and text[end].isdigit():
+                    end += 1
+        self._pos = end
+        lexeme = text[start:end]
+        if is_float:
+            return self._make_token(TokenKind.FLOAT_LIT, start, end, float(lexeme))
+        return self._make_token(TokenKind.INT_LIT, start, end, int(lexeme))
+
+    def _lex_operator(self, start: int):
+        text = self._text
+        for lexeme, kind in MULTI_CHAR_OPERATORS:
+            if text.startswith(lexeme, start):
+                self._pos = start + len(lexeme)
+                return self._make_token(kind, start, self._pos)
+        ch = text[start]
+        kind = SINGLE_CHAR_OPERATORS.get(ch)
+        self._pos = start + 1
+        if kind is None:
+            span = self._span(start, self._pos)
+            self._sink.error(f"unexpected character {ch!r}", span)
+            return None
+        return self._make_token(kind, start, self._pos)
+
+    def _span(self, start: int, end: int) -> Span:
+        return Span(
+            self._source.filename,
+            self._source.position_at(start),
+            self._source.position_at(end),
+        )
+
+    def _make_token(self, kind: TokenKind, start: int, end: int, value=None) -> Token:
+        return Token(kind, self._text[start:end], self._span(start, end), value)
+
+
+def tokenize(source: SourceFile, sink: DiagnosticSink) -> List[Token]:
+    """Convenience wrapper: lex ``source``, reporting problems to ``sink``."""
+    return Lexer(source, sink).tokens()

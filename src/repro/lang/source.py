@@ -1,0 +1,97 @@
+"""Source text handling: files, positions, and spans.
+
+Every token and AST node carries a :class:`Span` so that diagnostics can
+point at the offending source text.  The parallel compiler's master process
+parses the whole program once to derive the partitioning, and diagnostics
+produced by the function masters are recombined by the section masters;
+stable, position-carrying diagnostics are what make that recombination
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in a source file (1-based line/column, 0-based offset)."""
+
+    line: int
+    column: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open range of source text ``[start, end)`` in one file."""
+
+    filename: str
+    start: Position
+    end: Position
+
+    @classmethod
+    def point(cls, filename: str, pos: Position) -> "Span":
+        return cls(filename, pos, pos)
+
+    def merge(self, other: "Span") -> "Span":
+        """Smallest span covering both ``self`` and ``other``."""
+        if self.filename != other.filename:
+            raise ValueError(
+                f"cannot merge spans from {self.filename!r} and {other.filename!r}"
+            )
+        first = self.start if self.start.offset <= other.start.offset else other.start
+        last = self.end if self.end.offset >= other.end.offset else other.end
+        return Span(self.filename, first, last)
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.start}"
+
+
+@dataclass
+class SourceFile:
+    """A named unit of source text with lazy line indexing."""
+
+    filename: str
+    text: str
+    _line_starts: list = field(default_factory=list, repr=False)
+
+    def line_starts(self) -> list:
+        """Offsets at which each line begins (computed once)."""
+        if not self._line_starts:
+            starts = [0]
+            for i, ch in enumerate(self.text):
+                if ch == "\n":
+                    starts.append(i + 1)
+            self._line_starts = starts
+        return self._line_starts
+
+    def position_at(self, offset: int) -> Position:
+        """Translate a byte offset into a line/column position."""
+        if offset < 0 or offset > len(self.text):
+            raise ValueError(f"offset {offset} out of range for {self.filename!r}")
+        starts = self.line_starts()
+        lo, hi = 0, len(starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return Position(line=lo + 1, column=offset - starts[lo] + 1, offset=offset)
+
+    def line_text(self, line: int) -> str:
+        """The text of the given 1-based line, without the newline."""
+        starts = self.line_starts()
+        if line < 1 or line > len(starts):
+            raise ValueError(f"line {line} out of range for {self.filename!r}")
+        begin = starts[line - 1]
+        end = starts[line] - 1 if line < len(starts) else len(self.text)
+        return self.text[begin:end]
+
+    def count_lines(self) -> int:
+        """Number of lines in the file (an empty file has one empty line)."""
+        return len(self.line_starts())

@@ -1,0 +1,88 @@
+"""The type system of the W2-like language.
+
+Three kinds of types: ``int``, ``float`` and one-dimensional arrays of a
+scalar element type.  ``int`` widens implicitly to ``float``; narrowing is
+an error.  Comparison and logical operators yield ``int`` (0 or 1), as in
+the era's systems languages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Type:
+    """Base class for all types; instances are immutable and comparable."""
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def is_numeric(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int
+
+    def __str__(self) -> str:
+        return f"array[{self.length}] of {self.element}"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The 'type' of a function with no return value."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+INT = IntType()
+FLOAT = FloatType()
+VOID = VoidType()
+
+
+def is_assignable(target: Type, value: Type) -> bool:
+    """True if a value of type ``value`` may be stored into ``target``.
+
+    Identical scalar types are assignable, and ``int`` widens to ``float``.
+    Arrays are never assigned wholesale (element-wise loops only).
+    """
+    if target == value and target.is_scalar():
+        return True
+    return target == FLOAT and value == INT
+
+
+def unify_arithmetic(left: Type, right: Type) -> Optional[Type]:
+    """Result type of an arithmetic operator, or None if ill-typed."""
+    if not (left.is_numeric() and right.is_numeric()):
+        return None
+    if FLOAT in (left, right):
+        return FLOAT
+    return INT

@@ -1,0 +1,14 @@
+"""Warp machine model: cells, functional units, the array."""
+
+from .resources import FUClass, OpSpec, PhysReg
+from .warp_array import WarpArrayModel, default_array
+from .warp_cell import WarpCellModel
+
+__all__ = [
+    "FUClass",
+    "OpSpec",
+    "PhysReg",
+    "WarpArrayModel",
+    "WarpCellModel",
+    "default_array",
+]

@@ -1,0 +1,57 @@
+"""Text Gantt charts of compilation timelines.
+
+The paper's Figure 2 sketches "the level of parallelism during
+compilation of program S" — master, section masters, and function masters
+over execution time.  This module renders the same picture from a real
+:class:`TimingReport`: one row per machine, time flowing left to right,
+with startup (core download + init + re-parse) distinguished from the
+compile phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cluster.cluster import TimingReport
+
+#: Glyphs: '.' idle, '=' startup, '#' compiling.
+IDLE, STARTUP, COMPUTE = ".", "=", "#"
+
+
+def render_gantt(report: TimingReport, width: int = 72) -> str:
+    """Render the parallel compilation as one text row per machine."""
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if report.elapsed <= 0:
+        raise ValueError("report has no elapsed time to draw")
+    scale = width / report.elapsed
+
+    rows: Dict[str, List[str]] = {}
+    for span in sorted(report.spans, key=lambda s: (s.machine, s.start)):
+        row = rows.setdefault(span.machine, [IDLE] * width)
+        start = min(width - 1, int(span.start * scale))
+        mid = min(width, max(start + 1, int(span.compute_start * scale)))
+        end = min(width, max(mid + 1, int(span.end * scale)))
+        for i in range(start, mid):
+            row[i] = STARTUP
+        for i in range(mid, end):
+            row[i] = COMPUTE
+
+    label_width = max((len(name) for name in rows), default=4)
+    lines = [
+        f"timeline: 0 .. {report.elapsed:.1f} virtual seconds "
+        f"({IDLE} idle, {STARTUP} startup, {COMPUTE} compiling)"
+    ]
+    for machine in sorted(rows):
+        lines.append(f"{machine.rjust(label_width)} |{''.join(rows[machine])}|")
+    return "\n".join(lines)
+
+
+def utilization(report: TimingReport) -> Dict[str, float]:
+    """Fraction of the elapsed time each machine spent on CPU work."""
+    if report.elapsed <= 0:
+        raise ValueError("report has no elapsed time")
+    return {
+        machine: busy / report.elapsed
+        for machine, busy in sorted(report.cpu_busy.items())
+    }

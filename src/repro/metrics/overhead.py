@@ -1,0 +1,77 @@
+"""Overhead decomposition (paper §4.2.3).
+
+"The total overhead incurred by the parallel compiler is composed of
+system overhead and implementation overhead.  The implementation overhead
+consists of the additional work that the parallel compiler performs
+(compared to the sequential one)": master setup + scheduling time,
+section-master time, and one extra parse.  "The system overhead is
+obtained by subtracting the implementation overhead ... from the total
+overhead."
+
+Total overhead is measured against the ideal parallel time — sequential
+elapsed divided by the number of processors actually exploited.  System
+overhead can therefore be *negative*: when the sequential compiler
+thrashes on a program that does not fit one workstation, the parallel
+compiler's fresh per-function Lisp images beat the ideal derived from the
+inflated sequential time (§4.2.3, Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import TimingReport
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """All §4.2.3 quantities for one (sequential, parallel) pair."""
+
+    sequential_elapsed: float
+    parallel_elapsed: float
+    workers: int
+    implementation_overhead: float
+
+    @property
+    def ideal_parallel(self) -> float:
+        return self.sequential_elapsed / self.workers
+
+    @property
+    def total_overhead(self) -> float:
+        return self.parallel_elapsed - self.ideal_parallel
+
+    @property
+    def system_overhead(self) -> float:
+        return self.total_overhead - self.implementation_overhead
+
+    # -- the figures report overheads as % of parallel elapsed time -------
+
+    @property
+    def relative_total(self) -> float:
+        return 100.0 * self.total_overhead / self.parallel_elapsed
+
+    @property
+    def relative_system(self) -> float:
+        return 100.0 * self.system_overhead / self.parallel_elapsed
+
+    @property
+    def relative_implementation(self) -> float:
+        return 100.0 * self.implementation_overhead / self.parallel_elapsed
+
+
+def compute_overhead(
+    sequential: TimingReport, parallel: TimingReport, workers: int
+) -> OverheadBreakdown:
+    """Decompose the parallel run's overhead against the sequential run.
+
+    ``workers`` is the number of processors the parallel run could
+    actually exploit: min(number of functions, processors available).
+    """
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    return OverheadBreakdown(
+        sequential_elapsed=sequential.elapsed,
+        parallel_elapsed=parallel.elapsed,
+        workers=workers,
+        implementation_overhead=parallel.implementation_overhead,
+    )

@@ -1,0 +1,35 @@
+"""Speedup: the paper's metric of success (§2.2).
+
+"The metric of success that we wish to employ is the speedup achieved:
+how much faster does a program compile when using the parallel compiler,
+compared to the sequential version that is commonly in use."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import TimingReport
+
+
+@dataclass(frozen=True)
+class Speedup:
+    sequential_elapsed: float
+    parallel_elapsed: float
+
+    @property
+    def value(self) -> float:
+        if self.parallel_elapsed <= 0:
+            raise ValueError("parallel elapsed time must be positive")
+        return self.sequential_elapsed / self.parallel_elapsed
+
+
+def speedup_of(sequential: TimingReport, parallel: TimingReport) -> float:
+    return Speedup(sequential.elapsed, parallel.elapsed).value
+
+
+def efficiency(sequential: TimingReport, parallel: TimingReport, processors: int) -> float:
+    """Speedup divided by processors: utilization of the parallel host."""
+    if processors < 1:
+        raise ValueError(f"need at least one processor, got {processors}")
+    return speedup_of(sequential, parallel) / processors

@@ -1,0 +1,62 @@
+"""Optimizer: local optimizations, dataflow analyses, and loop transforms."""
+
+from .copyprop import propagate_copies
+from .cse import eliminate_common_subexpressions
+from .dataflow import BlockFacts, solve_backward, solve_forward
+from .dce import eliminate_dead_code
+from .dependence import (
+    ANTI,
+    DependenceEdge,
+    DependenceGraph,
+    IO,
+    MEMORY,
+    OUTPUT,
+    Subscript,
+    TRUE,
+    build_dependence_graph,
+    classify_subscript,
+    find_induction_register,
+)
+from .fold import fold_constants
+from .gconst import propagate_constants_globally
+from .inline import inline_calls_in_function, inline_calls_in_module
+from .licm import hoist_loop_invariants
+from .liveness import block_use_def, iterate_live_out, live_variables
+from .pass_manager import PassManager, PassStats
+from .reaching import ReachingDefinitions, reaching_definitions
+from .simplify import simplify_control_flow
+from .unroll import unroll_constant_loops
+
+__all__ = [
+    "ANTI",
+    "BlockFacts",
+    "DependenceEdge",
+    "DependenceGraph",
+    "IO",
+    "MEMORY",
+    "OUTPUT",
+    "PassManager",
+    "PassStats",
+    "ReachingDefinitions",
+    "Subscript",
+    "TRUE",
+    "block_use_def",
+    "build_dependence_graph",
+    "classify_subscript",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "find_induction_register",
+    "fold_constants",
+    "hoist_loop_invariants",
+    "inline_calls_in_function",
+    "inline_calls_in_module",
+    "iterate_live_out",
+    "live_variables",
+    "propagate_constants_globally",
+    "propagate_copies",
+    "reaching_definitions",
+    "simplify_control_flow",
+    "solve_backward",
+    "solve_forward",
+    "unroll_constant_loops",
+]

@@ -1,0 +1,76 @@
+"""Local copy and constant propagation.
+
+Within each basic block, tracks which registers currently hold a copy of
+another register or a constant (from ``mov``/``li``) and rewrites later
+uses to the original value.  Redefinition of either side of a copy
+invalidates it.  This pass is what exposes constants to the folder and
+shared subexpressions to CSE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.cfg import FunctionIR
+from ..ir.instructions import Instr, Opcode
+from ..ir.values import Const, VReg, Value
+
+
+def propagate_copies(function: FunctionIR) -> int:
+    """Rewrite operands through local copies; returns number of changes."""
+    changes = 0
+    for block in function.blocks:
+        changes += _propagate_block(block.instructions)
+        changes += _remove_self_moves(block)
+    return changes
+
+
+def _remove_self_moves(block) -> int:
+    """Delete ``mov x, x`` no-ops (left behind by propagation and CSE)."""
+    before = len(block.instructions)
+    block.instructions = [
+        instr
+        for instr in block.instructions
+        if not (
+            instr.op is Opcode.MOV
+            and isinstance(instr.operands[0], VReg)
+            and instr.operands[0] == instr.dest
+        )
+    ]
+    return before - len(block.instructions)
+
+
+def _propagate_block(instructions) -> int:
+    #: register -> the value it currently equals (Const or VReg)
+    copies: Dict[VReg, Value] = {}
+    changes = 0
+    for index, instr in enumerate(instructions):
+        # Rewrite uses first (the instruction reads old values).
+        if instr.operands:
+            new_operands = tuple(
+                copies.get(v, v) if isinstance(v, VReg) else v
+                for v in instr.operands
+            )
+            if new_operands != instr.operands:
+                instr = instr.with_operands(new_operands)
+                instructions[index] = instr
+                changes += 1
+        # Then update the copy map for the definition.
+        dest = instr.dest
+        if dest is not None:
+            _invalidate(copies, dest)
+            if instr.op is Opcode.MOV:
+                source = instr.operands[0]
+                if source != dest:
+                    copies[dest] = source
+            elif instr.op is Opcode.LI:
+                copies[dest] = instr.operands[0]
+    return changes
+
+
+def _invalidate(copies: Dict[VReg, Value], reg: VReg) -> None:
+    """Remove facts about ``reg`` and facts that mention it as a source."""
+    copies.pop(reg, None)
+    stale = [dest for dest, value in copies.items() if value == reg]
+    for dest in stale:
+        del copies[dest]

@@ -1,0 +1,98 @@
+"""Generic iterative dataflow framework over basic blocks.
+
+Solves forward and backward set problems with gen/kill transfer functions
+using a worklist.  Sets are Python frozensets of hashable facts (virtual
+registers for liveness, (register, definition-site) pairs for reaching
+definitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, List
+
+from ..ir.cfg import FunctionIR
+
+Fact = Hashable
+FactSet = FrozenSet[Fact]
+
+
+@dataclass
+class BlockFacts:
+    """Solution at block granularity: facts on entry and on exit."""
+
+    entry: Dict[str, FactSet]
+    exit: Dict[str, FactSet]
+
+
+def solve_forward(
+    function: FunctionIR,
+    gen: Dict[str, FactSet],
+    kill: Dict[str, FactSet],
+    boundary: FactSet = frozenset(),
+) -> BlockFacts:
+    """Forward may-analysis: out = gen ∪ (in − kill), in = ∪ preds' out."""
+    preds = function.predecessors()
+    names = [b.name for b in function.blocks]
+    entry: Dict[str, FactSet] = {n: frozenset() for n in names}
+    exit_: Dict[str, FactSet] = {n: frozenset() for n in names}
+    entry[function.entry.name] = boundary
+
+    worklist: List[str] = list(names)
+    in_worklist = set(worklist)
+    while worklist:
+        name = worklist.pop(0)
+        in_worklist.discard(name)
+        if name != function.entry.name:
+            merged: FactSet = frozenset().union(
+                *(exit_[p] for p in preds[name])
+            ) if preds[name] else frozenset()
+            entry[name] = merged
+        new_exit = gen[name] | (entry[name] - kill[name])
+        if new_exit != exit_[name]:
+            exit_[name] = new_exit
+            for block in function.blocks:
+                if block.name == name:
+                    for succ in block.successors():
+                        if succ not in in_worklist:
+                            worklist.append(succ)
+                            in_worklist.add(succ)
+    return BlockFacts(entry=entry, exit=exit_)
+
+
+def solve_backward(
+    function: FunctionIR,
+    gen: Dict[str, FactSet],
+    kill: Dict[str, FactSet],
+    boundary: FactSet = frozenset(),
+) -> BlockFacts:
+    """Backward may-analysis: in = gen ∪ (out − kill), out = ∪ succs' in.
+
+    ``boundary`` seeds the out-set of every exit block (blocks with no
+    successors) — e.g. registers observable after return (none, normally).
+    """
+    names = [b.name for b in function.blocks]
+    block_map = function.block_map()
+    preds = function.predecessors()
+    entry: Dict[str, FactSet] = {n: frozenset() for n in names}
+    exit_: Dict[str, FactSet] = {n: frozenset() for n in names}
+    for name in names:
+        if not block_map[name].successors():
+            exit_[name] = boundary
+
+    worklist: List[str] = list(reversed(names))
+    in_worklist = set(worklist)
+    while worklist:
+        name = worklist.pop(0)
+        in_worklist.discard(name)
+        succs = block_map[name].successors()
+        if succs:
+            exit_[name] = frozenset().union(*(entry[s] for s in succs))
+        new_entry = gen[name] | (exit_[name] - kill[name])
+        if new_entry != entry[name]:
+            entry[name] = new_entry
+            for pred in preds[name]:
+                if pred not in in_worklist:
+                    worklist.append(pred)
+                    in_worklist.add(pred)
+    return BlockFacts(entry=entry, exit=exit_)

@@ -1,0 +1,42 @@
+"""Global dead-code elimination driven by liveness.
+
+An instruction is dead if it has no side effects and its destination is
+not live immediately after it.  Runs to a fixpoint (removing one layer of
+dead code exposes the next).
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import FunctionIR
+from .liveness import iterate_live_out, live_variables
+
+
+def eliminate_dead_code(function: FunctionIR) -> int:
+    """Remove dead instructions; returns total removed across all rounds."""
+    total = 0
+    while True:
+        removed = _one_round(function)
+        total += removed
+        if removed == 0:
+            return total
+
+
+def _one_round(function: FunctionIR) -> int:
+    facts = live_variables(function)
+    removed = 0
+    for block in function.blocks:
+        keep = []
+        for instr, live_after in iterate_live_out(block, facts.exit[block.name]):
+            is_dead = (
+                instr.dest is not None
+                and instr.dest not in live_after
+                and not instr.has_side_effects()
+                and not instr.is_terminator()
+            )
+            if is_dead:
+                removed += 1
+            else:
+                keep.append(instr)
+        keep.reverse()
+        block.instructions = keep
+    return removed

@@ -1,0 +1,181 @@
+"""Procedure inlining.
+
+The paper singles out inlining as the optimization that makes parallel
+compilation *more* effective: "Not only will procedure inlining allow the
+code generator to perform a better job, the increase in size of each
+function operated upon will also improve the speedup obtained by the
+parallel compiler" (§5.1).  Inlining needs callee bodies, so — like
+parsing — it is a whole-section activity performed by the master before
+partitioning.
+
+Inlining a call site clones the callee's blocks with fresh registers and
+block names, maps parameters to argument values, turns returns into jumps
+to a continuation block, and re-homes the callee's arrays into the
+caller's frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..ir.cfg import BasicBlock, FunctionIR, ModuleIR
+from ..ir.instructions import Instr, Opcode
+from ..ir.values import Const, FrameArray, VReg
+
+#: Default "small function" threshold, in IR instructions.
+DEFAULT_THRESHOLD = 60
+
+
+def inline_calls_in_module(
+    module: ModuleIR, threshold: int = DEFAULT_THRESHOLD
+) -> int:
+    """Inline small callees everywhere; returns the number of sites inlined."""
+    total = 0
+    for section_name, functions in module.functions.items():
+        by_name = {fn.name: fn for fn in functions}
+        for fn in functions:
+            total += inline_calls_in_function(fn, by_name, threshold)
+    return total
+
+
+def inline_calls_in_function(
+    function: FunctionIR,
+    callees: Dict[str, FunctionIR],
+    threshold: int = DEFAULT_THRESHOLD,
+) -> int:
+    """Repeatedly inline eligible call sites in ``function``.
+
+    The section call graph is acyclic (checked by sema), so this
+    terminates: each round replaces a call with a body that may itself
+    contain calls, but the nesting depth is bounded by the call graph.
+    """
+    inlined = 0
+    # Bound the work so pathological chains cannot blow up code size.
+    for _ in range(100):
+        site = _find_site(function, callees, threshold)
+        if site is None:
+            break
+        block_index, instr_index, callee = site
+        _inline_site(function, block_index, instr_index, callee)
+        function.validate()
+        inlined += 1
+    return inlined
+
+
+def _find_site(
+    function: FunctionIR, callees: Dict[str, FunctionIR], threshold: int
+) -> Optional[tuple]:
+    for block_index, block in enumerate(function.blocks):
+        for instr_index, instr in enumerate(block.instructions):
+            if instr.op is not Opcode.CALL:
+                continue
+            callee = callees.get(instr.callee)
+            if callee is None or callee.name == function.name:
+                continue
+            if callee.instruction_count() > threshold:
+                continue
+            # A callee that itself still contains calls is inlined only
+            # after its own calls are gone — keeps cloning simple.
+            if any(i.op is Opcode.CALL for i in callee.all_instructions()):
+                continue
+            return block_index, instr_index, callee
+    return None
+
+
+def _inline_site(
+    function: FunctionIR, block_index: int, instr_index: int, callee: FunctionIR
+) -> None:
+    block = function.blocks[block_index]
+    call = block.instructions[instr_index]
+
+    reg_map: Dict[VReg, VReg] = {}
+
+    def clone_reg(reg: VReg) -> VReg:
+        mapped = reg_map.get(reg)
+        if mapped is None:
+            mapped = function.new_vreg(reg.type)
+            reg_map[reg] = mapped
+        return mapped
+
+    # Re-home the callee's arrays at fresh offsets in the caller's frame.
+    suffix = f".inl{function.next_vreg_id}_{len(function.blocks)}"
+    array_map: Dict[str, FrameArray] = {}
+    next_offset = sum(a.length for a in function.arrays)
+    for array in callee.arrays:
+        new_array = FrameArray(
+            name=f"{callee.name}.{array.name}{suffix}",
+            element_type=array.element_type,
+            length=array.length,
+            offset=next_offset,
+        )
+        next_offset += array.length
+        array_map[array.name] = new_array
+        function.arrays.append(new_array)
+
+    label_map = {
+        b.name: f"{callee.name}.{b.name}{suffix}" for b in callee.blocks
+    }
+    continuation_name = f"{block.name}.cont{suffix}"
+
+    # Clone callee blocks, rewriting registers, arrays, labels and returns.
+    cloned_blocks: List[BasicBlock] = []
+    for src_block in callee.blocks:
+        cloned = BasicBlock(label_map[src_block.name])
+        for instr in src_block.instructions:
+            cloned.instructions.extend(
+                _clone_instr(
+                    instr, clone_reg, array_map, label_map, call.dest,
+                    continuation_name,
+                )
+            )
+        cloned_blocks.append(cloned)
+
+    # Parameter setup: mov cloned-param := argument.
+    setup: List[Instr] = []
+    for param, arg in zip(callee.param_regs, call.operands):
+        setup.append(Instr(Opcode.MOV, dest=clone_reg(param), operands=(arg,)))
+
+    # Split the caller block around the call.
+    before = block.instructions[:instr_index]
+    after = block.instructions[instr_index + 1:]
+    entry_label = label_map[callee.entry.name]
+    block.instructions = before + setup + [Instr(Opcode.JMP, labels=(entry_label,))]
+    continuation = BasicBlock(continuation_name, after)
+    function.blocks[block_index + 1: block_index + 1] = (
+        cloned_blocks + [continuation]
+    )
+
+
+def _clone_instr(
+    instr: Instr,
+    clone_reg,
+    array_map: Dict[str, FrameArray],
+    label_map: Dict[str, str],
+    call_dest: Optional[VReg],
+    continuation: str,
+) -> List[Instr]:
+    if instr.op is Opcode.RET:
+        result: List[Instr] = []
+        if instr.operands and call_dest is not None:
+            value = instr.operands[0]
+            mapped = clone_reg(value) if isinstance(value, VReg) else value
+            result.append(Instr(Opcode.MOV, dest=call_dest, operands=(mapped,)))
+        result.append(Instr(Opcode.JMP, labels=(continuation,)))
+        return result
+    operands = tuple(
+        clone_reg(v) if isinstance(v, VReg) else v for v in instr.operands
+    )
+    dest = clone_reg(instr.dest) if instr.dest is not None else None
+    array = array_map[instr.array.name] if instr.array is not None else None
+    labels = tuple(label_map[label] for label in instr.labels)
+    return [
+        Instr(
+            instr.op,
+            dest=dest,
+            operands=operands,
+            array=array,
+            labels=labels,
+            callee=instr.callee,
+        )
+    ]

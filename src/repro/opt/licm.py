@@ -1,0 +1,178 @@
+"""Loop-invariant code motion.
+
+Pulls pure computations whose operands do not change inside a loop out to
+the loop's preheader.  This is one of the "more sophisticated
+optimization algorithms" the paper argues parallel compilation buys time
+for (§5.1) — and it directly helps the software pipeliner, which only
+sees the loop body that remains.
+
+Correctness conditions in this non-SSA IR (checked conservatively):
+
+- the instruction is pure and non-trapping (no DIV/MOD — hoisting may
+  execute them on iterations-zero trips, and the cell traps on divide by
+  zero);
+- every operand is a constant or a register with no definition anywhere
+  in the loop;
+- the destination register is defined exactly once in the whole function
+  and used only inside the loop (the compiler's expression temporaries
+  all satisfy this);
+- the loop has a unique preheader: a single outside predecessor ending in
+  an unconditional jump to the header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.cfg import BasicBlock, FunctionIR
+from ..ir.instructions import Instr, Opcode
+from ..ir.loops import Loop, find_loops
+from ..ir.values import Const, VReg
+
+#: Pure AND non-trapping: safe to execute speculatively in the preheader.
+_HOISTABLE = {
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.NEG,
+    Opcode.ABS,
+    Opcode.MIN,
+    Opcode.MAX,
+    Opcode.NOT,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.CEQ,
+    Opcode.CNE,
+    Opcode.CLT,
+    Opcode.CLE,
+    Opcode.CGT,
+    Opcode.CGE,
+    Opcode.MOV,
+    Opcode.LI,
+    Opcode.ITOF,
+    Opcode.FTOI,
+}
+
+
+def hoist_loop_invariants(function: FunctionIR) -> int:
+    """Hoist invariant computations out of every loop; returns count."""
+    total = 0
+    # Re-detect loops after each changed loop: hoisting into an outer
+    # loop's body can expose more motion for the outer loop.
+    for _ in range(10):
+        moved = _one_round(function)
+        if moved == 0:
+            break
+        total += moved
+    return total
+
+
+def _one_round(function: FunctionIR) -> int:
+    nest = find_loops(function)
+    defs_count = _definition_counts(function)
+    uses_outside: Dict[VReg, Set[str]] = _use_blocks(function)
+    moved = 0
+    # Innermost first: their invariants may bubble outward next round.
+    loops = sorted(nest.all_loops(), key=lambda l: -l.depth)
+    for loop in loops:
+        preheader = _preheader_of(function, loop)
+        if preheader is None:
+            continue
+        moved += _hoist_from_loop(
+            function, loop, preheader, defs_count, uses_outside
+        )
+    return moved
+
+
+def _definition_counts(function: FunctionIR) -> Dict[VReg, int]:
+    counts: Dict[VReg, int] = {}
+    for instr in function.all_instructions():
+        if instr.dest is not None:
+            counts[instr.dest] = counts.get(instr.dest, 0) + 1
+    return counts
+
+
+def _use_blocks(function: FunctionIR) -> Dict[VReg, Set[str]]:
+    uses: Dict[VReg, Set[str]] = {}
+    for block in function.blocks:
+        for instr in block.instructions:
+            for reg in instr.uses():
+                uses.setdefault(reg, set()).add(block.name)
+    return uses
+
+
+def _preheader_of(function: FunctionIR, loop: Loop) -> Optional[BasicBlock]:
+    preds = function.predecessors()[loop.header]
+    outside = [p for p in preds if p not in loop.blocks]
+    if len(outside) != 1:
+        return None
+    preheader = function.block_named(outside[0])
+    term = preheader.terminator
+    if term is None or term.op is not Opcode.JMP:
+        return None
+    return preheader
+
+
+def _hoist_from_loop(
+    function: FunctionIR,
+    loop: Loop,
+    preheader: BasicBlock,
+    defs_count: Dict[VReg, int],
+    uses_outside: Dict[VReg, Set[str]],
+) -> int:
+    loop_blocks = [function.block_named(name) for name in sorted(loop.blocks)]
+    defined_in_loop: Set[VReg] = set()
+    for block in loop_blocks:
+        for instr in block.instructions:
+            if instr.dest is not None:
+                defined_in_loop.add(instr.dest)
+
+    hoisted: Set[VReg] = set()
+    moved = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in loop_blocks:
+            for index, instr in enumerate(block.instructions):
+                if not _can_hoist(
+                    instr, loop, defined_in_loop, hoisted, defs_count,
+                    uses_outside,
+                ):
+                    continue
+                del block.instructions[index]
+                preheader.instructions.insert(
+                    len(preheader.instructions) - 1, instr
+                )
+                hoisted.add(instr.dest)
+                defined_in_loop.discard(instr.dest)
+                moved += 1
+                changed = True
+                break  # indices shifted; rescan this block
+    return moved
+
+
+def _can_hoist(
+    instr: Instr,
+    loop: Loop,
+    defined_in_loop: Set[VReg],
+    hoisted: Set[VReg],
+    defs_count: Dict[VReg, int],
+    uses_outside: Dict[VReg, Set[str]],
+) -> bool:
+    if instr.op not in _HOISTABLE or instr.dest is None:
+        return False
+    if defs_count.get(instr.dest, 0) != 1:
+        return False
+    # All uses must stay within the loop (the hoisted def still
+    # dominates them via the preheader).
+    use_blocks = uses_outside.get(instr.dest, set())
+    if any(name not in loop.blocks for name in use_blocks):
+        return False
+    for operand in instr.operands:
+        if isinstance(operand, Const):
+            continue
+        if operand in hoisted:
+            continue
+        if operand in defined_in_loop:
+            return False
+    return True

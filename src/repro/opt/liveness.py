@@ -1,0 +1,55 @@
+"""Live-variable analysis over virtual registers.
+
+Backward problem: a register is live at a point if some path from that
+point reads it before any write.  Used by dead-code elimination and by the
+register allocator's live-interval construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from ..ir.cfg import BasicBlock, FunctionIR
+from ..ir.instructions import Instr
+from ..ir.values import VReg
+from .dataflow import BlockFacts, solve_backward
+
+
+def block_use_def(block: BasicBlock) -> Tuple[FrozenSet[VReg], FrozenSet[VReg]]:
+    """(use, def) sets for a block: use = read before any write within it."""
+    uses = set()
+    defs = set()
+    for instr in block.instructions:
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        if instr.dest is not None:
+            defs.add(instr.dest)
+    return frozenset(uses), frozenset(defs)
+
+
+def live_variables(function: FunctionIR) -> BlockFacts:
+    """Solve liveness; ``entry``/``exit`` give live-in/live-out per block."""
+    gen: Dict[str, FrozenSet[VReg]] = {}
+    kill: Dict[str, FrozenSet[VReg]] = {}
+    for block in function.blocks:
+        uses, defs = block_use_def(block)
+        gen[block.name] = uses
+        kill[block.name] = defs
+    return solve_backward(function, gen, kill)
+
+
+def iterate_live_out(
+    block: BasicBlock, live_out: FrozenSet[VReg]
+) -> Iterator[Tuple[Instr, FrozenSet[VReg]]]:
+    """Yield ``(instr, live-after-instr)`` in *reverse* block order.
+
+    Callers walking backwards (e.g. DCE) get, for each instruction, the set
+    of registers live immediately after it.
+    """
+    live = set(live_out)
+    for instr in reversed(block.instructions):
+        yield instr, frozenset(live)
+        if instr.dest is not None:
+            live.discard(instr.dest)
+        live.update(instr.uses())

@@ -1,0 +1,74 @@
+"""Reaching-definitions analysis.
+
+A definition is identified by ``(block name, index, register)``.  The
+solution says, for each block entry, which definitions may reach it.  Used
+by tests and by the dependence analysis to find loop-carried register
+flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..ir.cfg import FunctionIR
+from ..ir.values import VReg
+from .dataflow import BlockFacts, solve_forward
+
+#: (block name, instruction index within block, defined register)
+Definition = Tuple[str, int, VReg]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Reaching-definition facts plus handy lookup helpers."""
+
+    facts: BlockFacts
+    all_definitions: List[Definition]
+
+    def reaching_entry(self, block_name: str) -> FrozenSet[Definition]:
+        return self.facts.entry[block_name]
+
+    def definitions_of(self, reg: VReg) -> List[Definition]:
+        return [d for d in self.all_definitions if d[2] == reg]
+
+
+def reaching_definitions(function: FunctionIR) -> ReachingDefinitions:
+    all_defs: List[Definition] = []
+    defs_of_reg: Dict[VReg, List[Definition]] = {}
+    for block in function.blocks:
+        for index, instr in enumerate(block.instructions):
+            if instr.dest is not None:
+                definition = (block.name, index, instr.dest)
+                all_defs.append(definition)
+                defs_of_reg.setdefault(instr.dest, []).append(definition)
+
+    gen: Dict[str, FrozenSet[Definition]] = {}
+    kill: Dict[str, FrozenSet[Definition]] = {}
+    for block in function.blocks:
+        local_last: Dict[VReg, Definition] = {}
+        for index, instr in enumerate(block.instructions):
+            if instr.dest is not None:
+                local_last[instr.dest] = (block.name, index, instr.dest)
+        gen[block.name] = frozenset(local_last.values())
+        killed = set()
+        for reg in local_last:
+            killed.update(
+                d for d in defs_of_reg[reg] if d[0] != block.name
+            )
+            killed.update(
+                d
+                for d in defs_of_reg[reg]
+                if d[0] == block.name and d != local_last[reg]
+            )
+            # The boundary (parameter) definition of this register dies too.
+            killed.add((function.entry.name, -1, reg))
+        kill[block.name] = frozenset(killed)
+
+    # Parameters are definitions from 'outside'; model them as boundary
+    # facts with index -1 in the entry block.
+    boundary = frozenset(
+        (function.entry.name, -1, reg) for reg in function.param_regs
+    )
+    facts = solve_forward(function, gen, kill, boundary=boundary)
+    return ReachingDefinitions(facts=facts, all_definitions=all_defs)

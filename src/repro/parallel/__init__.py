@@ -1,0 +1,44 @@
+"""Parallel execution backends and scheduling strategies."""
+
+from .backend import ExecutionBackend
+from .fault_tolerance import (
+    FlakyBackend,
+    FunctionMasterFailure,
+    RetryBudgetExceeded,
+    RetryingBackend,
+)
+from .local import ProcessPoolBackend, SerialBackend
+from .parallel_make import (
+    MakeCycleError,
+    MakeResult,
+    MakeTarget,
+    simulate_parallel_make,
+)
+from .schedule import (
+    Assignment,
+    fcfs_assignment,
+    grouped_lpt_assignment,
+    lines_and_nesting_cost,
+    one_function_per_processor,
+    work_units_cost,
+)
+
+__all__ = [
+    "Assignment",
+    "ExecutionBackend",
+    "FlakyBackend",
+    "FunctionMasterFailure",
+    "MakeCycleError",
+    "RetryBudgetExceeded",
+    "RetryingBackend",
+    "MakeResult",
+    "MakeTarget",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "fcfs_assignment",
+    "grouped_lpt_assignment",
+    "lines_and_nesting_cost",
+    "one_function_per_processor",
+    "simulate_parallel_make",
+    "work_units_cost",
+]

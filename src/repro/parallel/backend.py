@@ -1,0 +1,27 @@
+"""Execution backends for the parallel compiler.
+
+A backend answers one question: given N independent function-master
+tasks, run them and return their results.  The paper's host was an
+Ethernet network of diskless SUN workstations reached through UNIX
+heavyweight processes; ours are local OS processes
+(:class:`repro.parallel.local.ProcessPoolBackend`), an in-process serial
+executor for tests, or the discrete-event cluster simulator for timing
+studies (:mod:`repro.cluster`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from ..driver.function_master import FunctionTask, FunctionTaskResult
+
+
+class ExecutionBackend(Protocol):
+    """Runs function-master tasks; order of results is unspecified."""
+
+    def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        ...  # pragma: no cover - protocol
+
+    @property
+    def worker_count(self) -> int:
+        ...  # pragma: no cover - protocol

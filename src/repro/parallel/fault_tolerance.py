@@ -1,0 +1,167 @@
+"""Fault-tolerant task execution.
+
+The paper's §5.2 is a lament about exactly this: "it is hard to make a
+parallel program reliable ... the application code becomes unwieldy as it
+tries to account for all possible failures in the child processes and
+their host processors."  This module packages that unwieldy code once:
+
+- :class:`RetryingBackend` wraps any execution backend and resubmits
+  failed function-master tasks (on the real network: a crashed Lisp
+  process or a rebooted workstation) until they succeed or a retry budget
+  is exhausted;
+- :class:`FlakyBackend` is the matching failure injector: it makes an
+  inner backend fail deterministically (seeded), so recovery paths are
+  testable and benchmarkable.
+
+Because function masters are pure (same task -> same object code), retry
+is always safe: the section master cannot tell a first-try result from a
+third-try result, and the final download module stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..driver.function_master import FunctionTask, FunctionTaskResult
+from .backend import ExecutionBackend
+
+
+class FunctionMasterFailure(Exception):
+    """One function master died (injected or real)."""
+
+    def __init__(self, task: FunctionTask, reason: str):
+        self.task = task
+        self.reason = reason
+        super().__init__(
+            f"function master {task.section_name}.{task.function_name} "
+            f"failed: {reason}"
+        )
+
+
+class RetryBudgetExceeded(Exception):
+    """Tasks kept failing past the retry budget."""
+
+    def __init__(self, failures: List[FunctionMasterFailure]):
+        self.failures = failures
+        names = ", ".join(
+            f"{f.task.section_name}.{f.task.function_name}" for f in failures
+        )
+        super().__init__(f"gave up on: {names}")
+
+
+def _task_key(task: FunctionTask) -> Tuple[str, str]:
+    return (task.section_name, task.function_name)
+
+
+class FlakyBackend:
+    """Deterministic failure injection around any backend.
+
+    Each (task, attempt) pair fails with probability ``failure_rate``,
+    decided by a private seeded generator — the same seed always produces
+    the same crash pattern, so tests and benchmarks are reproducible.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        failure_rate: float,
+        seed: int = 0,
+        max_failures_per_task: Optional[int] = None,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure rate must be in [0, 1), got {failure_rate}")
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self.max_failures_per_task = max_failures_per_task
+        self._attempts: Dict[Tuple[str, str], int] = {}
+        self.injected_failures = 0
+
+    @property
+    def worker_count(self) -> int:
+        return self.inner.worker_count
+
+    def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        results, failures = self.run_tasks_partial(tasks)
+        if failures:
+            raise failures[0]
+        return results
+
+    def run_tasks_partial(
+        self, tasks: List[FunctionTask]
+    ) -> Tuple[List[FunctionTaskResult], List[FunctionMasterFailure]]:
+        """Run tasks, injecting crashes; survivors are still computed."""
+        doomed: List[FunctionMasterFailure] = []
+        survivors: List[FunctionTask] = []
+        for task in tasks:
+            key = _task_key(task)
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+            fail = self._rng.random() < self.failure_rate
+            if self.max_failures_per_task is not None:
+                fail = fail and attempt < self.max_failures_per_task
+            if fail:
+                self.injected_failures += 1
+                doomed.append(
+                    FunctionMasterFailure(
+                        task, f"injected crash on attempt {attempt + 1}"
+                    )
+                )
+            else:
+                survivors.append(task)
+        results = self.inner.run_tasks(survivors) if survivors else []
+        return results, doomed
+
+
+class RetryingBackend:
+    """Resubmit failed function-master tasks, like a careful §5.2 master.
+
+    Works with any inner backend: backends exposing
+    ``run_tasks_partial`` (like :class:`FlakyBackend`) report per-task
+    failures in bulk; plain backends are driven one task at a time so a
+    single crash cannot take down the whole batch.
+    """
+
+    def __init__(self, inner, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ValueError(f"need at least one attempt, got {max_attempts}")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.retries_performed = 0
+
+    @property
+    def worker_count(self) -> int:
+        return self.inner.worker_count
+
+    def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        pending = list(tasks)
+        collected: List[FunctionTaskResult] = []
+        last_failures: List[FunctionMasterFailure] = []
+        for attempt in range(1, self.max_attempts + 1):
+            if not pending:
+                break
+            if attempt > 1:
+                self.retries_performed += len(pending)
+            results, failures = self._attempt(pending)
+            collected.extend(results)
+            pending = [f.task for f in failures]
+            last_failures = failures
+        if pending:
+            raise RetryBudgetExceeded(last_failures)
+        return collected
+
+    def _attempt(self, tasks: List[FunctionTask]):
+        if hasattr(self.inner, "run_tasks_partial"):
+            return self.inner.run_tasks_partial(tasks)
+        results: List[FunctionTaskResult] = []
+        failures: List[FunctionMasterFailure] = []
+        for task in tasks:
+            try:
+                results.extend(self.inner.run_tasks([task]))
+            except FunctionMasterFailure as failure:
+                failures.append(failure)
+            except Exception as error:  # a real child-process death
+                failures.append(FunctionMasterFailure(task, repr(error)))
+        return results, failures

@@ -1,0 +1,17 @@
+"""Functional simulator for the Warp array."""
+
+from .array_runner import ArrayRunner, RunResult, run_module
+from .cell_state import CellState, CellStats, SimulationError
+from .executor import step_cell
+from .queues import CellQueue
+
+__all__ = [
+    "ArrayRunner",
+    "CellQueue",
+    "CellState",
+    "CellStats",
+    "RunResult",
+    "SimulationError",
+    "run_module",
+    "step_cell",
+]

@@ -1,0 +1,128 @@
+"""Lockstep simulation of the whole Warp array.
+
+Cells advance one cycle at a time; adjacent cells are connected by bounded
+queues; the external input stream feeds the leftmost used cell and output
+is collected from the rightmost used cell.  Deadlock (every live cell
+stalled with nothing in flight) is detected and reported rather than
+spinning forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..asmlink.objformat import DownloadModule
+from ..machine.warp_array import WarpArrayModel
+from .cell_state import CellState, CellStats, SimulationError
+from .executor import step_cell
+from .queues import CellQueue
+
+Number = Union[int, float]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one array run."""
+
+    outputs: List[Number]
+    cycles: int
+    cell_stats: Dict[int, CellStats] = field(default_factory=dict)
+    leftover_input: int = 0
+
+    def output_floats(self) -> List[float]:
+        return [float(v) for v in self.outputs]
+
+
+class ArrayRunner:
+    """Executes a download module on a simulated Warp array."""
+
+    def __init__(
+        self,
+        module: DownloadModule,
+        array: Optional[WarpArrayModel] = None,
+        max_cycles: int = 5_000_000,
+    ):
+        self.array = array or WarpArrayModel()
+        self.module = module
+        self.max_cycles = max_cycles
+        if not module.cell_programs:
+            raise ValueError("download module uses no cells")
+        for cell_index in module.cell_programs:
+            if not 0 <= cell_index < self.array.cell_count:
+                raise ValueError(
+                    f"module uses cell {cell_index}, array has "
+                    f"{self.array.cell_count}"
+                )
+
+    def run(self, inputs: List[Number]) -> RunResult:
+        cells = sorted(self.module.cell_programs)
+        states: Dict[int, CellState] = {
+            index: CellState(self.module.cell_programs[index], self.array.cell)
+            for index in cells
+        }
+        capacity = self.array.cell.queue_capacity
+        # Queue i feeds cell cells[i]; the last queue collects output.
+        queues: List[CellQueue] = [
+            CellQueue(capacity) for _ in range(len(cells) + 1)
+        ]
+        input_queue = queues[0]
+        output_queue = queues[-1]
+        pending_input = list(inputs)
+        outputs: List[Number] = []
+
+        cycle = 0
+        while cycle < self.max_cycles:
+            # Feed the external stream as space allows (host DMA).
+            while pending_input and not input_queue.is_full:
+                input_queue.push(pending_input.pop(0))
+            # Output drains freely: the host always accepts results.
+            outputs.extend(output_queue.drain())
+            progress = False
+            all_halted = True
+            for position, index in enumerate(cells):
+                state = states[index]
+                if step_cell(
+                    state, cycle, queues[position], queues[position + 1]
+                ):
+                    progress = True
+                if not state.halted:
+                    all_halted = False
+                elif state.has_pending_writes():
+                    progress = True
+            if all_halted and not any(
+                states[i].has_pending_writes() for i in cells
+            ):
+                cycle += 1
+                break
+            if not progress and not pending_input:
+                live = [i for i in cells if not states[i].halted]
+                if live and all(
+                    not states[i].has_pending_writes() for i in cells
+                ):
+                    raise SimulationError(
+                        f"deadlock at cycle {cycle}: cells {live} stalled"
+                    )
+            cycle += 1
+        else:
+            raise SimulationError(
+                f"array did not finish within {self.max_cycles} cycles"
+            )
+
+        outputs.extend(output_queue.drain())
+        return RunResult(
+            outputs=outputs,
+            cycles=cycle,
+            cell_stats={i: states[i].stats for i in cells},
+            leftover_input=len(pending_input) + len(input_queue),
+        )
+
+
+def run_module(
+    module: DownloadModule,
+    inputs: List[Number],
+    array: Optional[WarpArrayModel] = None,
+    max_cycles: int = 5_000_000,
+) -> RunResult:
+    """Convenience: build a runner and execute once."""
+    return ArrayRunner(module, array, max_cycles).run(inputs)

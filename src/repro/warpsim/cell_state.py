@@ -1,0 +1,169 @@
+"""Architectural state of one executing cell.
+
+Registers are read at issue; results land after their operation's latency
+via a write-back list, which is exactly the timing contract the scheduler
+and the software pipeliner compile against.  Data memory behaves the same
+way (stores land after the store latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..asmlink.objformat import AssembledFunction, CellProgram
+from ..machine.resources import PhysReg
+from ..machine.warp_cell import WarpCellModel
+
+Number = Union[int, float]
+
+
+class SimulationError(Exception):
+    """The program did something the hardware would trap on."""
+
+
+@dataclass
+class Frame:
+    """Saved caller context for a call."""
+
+    function: AssembledFunction
+    return_pc: int
+    saved_registers: Dict[PhysReg, Number]
+    result_reg: Optional[PhysReg]
+
+
+@dataclass
+class CellStats:
+    bundles_executed: int = 0
+    stall_cycles: int = 0
+    busy_cycles: int = 0
+
+
+class CellState:
+    """One cell's registers, memory, write-back list, and control state."""
+
+    def __init__(self, program: CellProgram, cell: WarpCellModel):
+        self.program = program
+        self.cell = cell
+        self.registers: Dict[PhysReg, Number] = {}
+        self.memory: List[Number] = [0] * cell.data_memory_words
+        #: pending register write-backs: (due cycle, register, value)
+        self.reg_writebacks: List[Tuple[int, PhysReg, Number]] = []
+        #: pending memory write-backs: (due cycle, address, value)
+        self.mem_writebacks: List[Tuple[int, int, Number]] = []
+        self.call_stack: List[Frame] = []
+        self.function: AssembledFunction = program.functions[program.entry]
+        self.pc = 0
+        self.busy_until = 0
+        self.halted = False
+        self.stats = CellStats()
+
+    # -- registers ------------------------------------------------------------
+
+    def read_register(self, reg: PhysReg) -> Number:
+        return self.registers.get(reg, 0 if reg.bank == "i" else 0.0)
+
+    def schedule_reg_write(self, due: int, reg: PhysReg, value: Number) -> None:
+        value = int(value) if reg.bank == "i" else float(value)
+        self.reg_writebacks.append((due, reg, value))
+
+    def write_register_now(self, reg: PhysReg, value: Number) -> None:
+        value = int(value) if reg.bank == "i" else float(value)
+        self.registers[reg] = value
+
+    # -- memory ---------------------------------------------------------------
+
+    def frame_base(self) -> int:
+        return self.program.frame_bases[self.function.name]
+
+    def read_memory(self, address: int) -> Number:
+        if not 0 <= address < len(self.memory):
+            raise SimulationError(
+                f"memory access out of range: address {address} "
+                f"(cell has {len(self.memory)} words)"
+            )
+        return self.memory[address]
+
+    def schedule_mem_write(self, due: int, address: int, value: Number) -> None:
+        if not 0 <= address < len(self.memory):
+            raise SimulationError(
+                f"store out of range: address {address} "
+                f"(cell has {len(self.memory)} words)"
+            )
+        self.mem_writebacks.append((due, address, value))
+
+    # -- write-back ---------------------------------------------------------------
+
+    def apply_writebacks(self, cycle: int) -> None:
+        """Land every pending write due at or before ``cycle``.
+
+        Same-register write-backs land in schedule order (the scheduler's
+        WAW edges guarantee later program-order writes have later due
+        cycles, so sorting by due cycle is sufficient and deterministic).
+        """
+        if self.reg_writebacks:
+            due_now = [w for w in self.reg_writebacks if w[0] <= cycle]
+            if due_now:
+                self.reg_writebacks = [
+                    w for w in self.reg_writebacks if w[0] > cycle
+                ]
+                for due, reg, value in sorted(due_now, key=lambda w: w[0]):
+                    self.registers[reg] = value
+        if self.mem_writebacks:
+            due_now = [w for w in self.mem_writebacks if w[0] <= cycle]
+            if due_now:
+                self.mem_writebacks = [
+                    w for w in self.mem_writebacks if w[0] > cycle
+                ]
+                for due, address, value in sorted(due_now, key=lambda w: w[0]):
+                    self.memory[address] = value
+
+    def has_pending_writes(self) -> bool:
+        return bool(self.reg_writebacks or self.mem_writebacks)
+
+    # -- calls ---------------------------------------------------------------------
+
+    def enter_function(
+        self,
+        callee: AssembledFunction,
+        args: List[Number],
+        result_reg: Optional[PhysReg],
+        return_pc: int,
+    ) -> None:
+        if len(args) != len(callee.param_regs):
+            raise SimulationError(
+                f"call to {callee.name!r}: expected "
+                f"{len(callee.param_regs)} args, got {len(args)}"
+            )
+        self.call_stack.append(
+            Frame(
+                function=self.function,
+                return_pc=return_pc,
+                saved_registers=dict(self.registers),
+                result_reg=result_reg,
+            )
+        )
+        if len(self.call_stack) > 64:
+            raise SimulationError("call stack overflow (recursion?)")
+        self.function = callee
+        self.pc = 0
+        for reg, value in zip(callee.param_regs, args):
+            self.write_register_now(reg, value)
+
+    def leave_function(self, return_value: Optional[Number]) -> bool:
+        """Return to the caller; True if the cell has finished its entry."""
+        if not self.call_stack:
+            self.halted = True
+            return True
+        frame = self.call_stack.pop()
+        self.registers = frame.saved_registers
+        if frame.result_reg is not None:
+            if return_value is None:
+                raise SimulationError(
+                    f"{self.function.name!r} returned no value but the "
+                    "caller expects one"
+                )
+            self.write_register_now(frame.result_reg, return_value)
+        self.function = frame.function
+        self.pc = frame.return_pc
+        return False

@@ -1,0 +1,177 @@
+"""Bundle execution: one cell, one cycle.
+
+Semantics (the contract the scheduler compiles against):
+
+- all operand reads happen at issue, seeing the register file *after*
+  write-backs due this cycle have landed;
+- results land ``latency`` cycles later (write-back);
+- a bundle issues atomically: if any of its receives would block on an
+  empty queue or any send on a full queue, the whole bundle stalls;
+- branches take effect at the next cycle;
+- a call saves the register file, transfers to the callee, and keeps the
+  sequencer busy for the call latency; return restores the caller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..asmlink.objformat import Bundle, MachineOp
+from ..ir.instructions import Opcode, evaluate_constant
+from ..machine.resources import FUClass, PhysReg
+from .cell_state import CellState, SimulationError
+from .queues import CellQueue
+
+Number = Union[int, float]
+
+_COMPUTE_OPS = {
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.MOD,
+    Opcode.NEG,
+    Opcode.ABS,
+    Opcode.SQRT,
+    Opcode.MIN,
+    Opcode.MAX,
+    Opcode.NOT,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.CEQ,
+    Opcode.CNE,
+    Opcode.CLT,
+    Opcode.CLE,
+    Opcode.CGT,
+    Opcode.CGE,
+    Opcode.MOV,
+    Opcode.LI,
+    Opcode.ITOF,
+    Opcode.FTOI,
+}
+
+
+def step_cell(
+    state: CellState,
+    cycle: int,
+    in_queue: Optional[CellQueue],
+    out_queue: Optional[CellQueue],
+) -> bool:
+    """Advance one cell by one cycle; returns True if it made progress."""
+    if state.halted:
+        state.apply_writebacks(cycle)
+        return False
+    state.apply_writebacks(cycle)
+    if cycle < state.busy_until:
+        state.stats.busy_cycles += 1
+        return True
+
+    bundle = _fetch(state)
+    if bundle is None:
+        # Fell off the end of a function without RET: trap.
+        raise SimulationError(
+            f"pc {state.pc} past the end of {state.function.name!r}"
+        )
+
+    if _would_block(bundle, in_queue, out_queue):
+        state.stats.stall_cycles += 1
+        return False
+
+    _execute_bundle(state, bundle, cycle, in_queue, out_queue)
+    state.stats.bundles_executed += 1
+    return True
+
+
+def _fetch(state: CellState) -> Optional[Bundle]:
+    bundles = state.function.bundles
+    if 0 <= state.pc < len(bundles):
+        return bundles[state.pc]
+    return None
+
+
+def _would_block(
+    bundle: Bundle,
+    in_queue: Optional[CellQueue],
+    out_queue: Optional[CellQueue],
+) -> bool:
+    receives = sum(1 for op in bundle.all_ops() if op.op is Opcode.RECV)
+    sends = sum(1 for op in bundle.all_ops() if op.op is Opcode.SEND)
+    if receives:
+        if in_queue is None or len(in_queue) < receives:
+            return True
+    if sends:
+        if out_queue is None or len(out_queue) + sends > out_queue.capacity:
+            return True
+    return False
+
+
+def _operand_value(state: CellState, operand) -> Number:
+    if isinstance(operand, PhysReg):
+        return state.read_register(operand)
+    return operand
+
+
+def _execute_bundle(
+    state: CellState,
+    bundle: Bundle,
+    cycle: int,
+    in_queue: Optional[CellQueue],
+    out_queue: Optional[CellQueue],
+) -> None:
+    # Read every operand first: all ops in a bundle see the same state.
+    staged = [
+        (op, [_operand_value(state, v) for v in op.operands])
+        for op in bundle.all_ops()
+    ]
+    next_pc = state.pc + 1
+    transfer = None  # deferred call/return
+
+    for op, values in staged:
+        if op.op in _COMPUTE_OPS:
+            result = evaluate_constant(op.op, values)
+            if result is None:
+                raise SimulationError(
+                    f"arithmetic trap in {state.function.name!r}: "
+                    f"{op.op.value} {values}"
+                )
+            state.schedule_reg_write(cycle + op.latency, op.dest, result)
+        elif op.op is Opcode.LOAD:
+            address = state.frame_base() + op.array_offset + int(values[0])
+            value = state.read_memory(address)
+            state.schedule_reg_write(cycle + op.latency, op.dest, value)
+        elif op.op is Opcode.STORE:
+            address = state.frame_base() + op.array_offset + int(values[0])
+            state.schedule_mem_write(cycle + op.latency, address, values[1])
+        elif op.op is Opcode.SEND:
+            out_queue.push(values[0])
+        elif op.op is Opcode.RECV:
+            value = in_queue.pop()
+            state.schedule_reg_write(cycle + op.latency, op.dest, value)
+        elif op.op is Opcode.JMP:
+            next_pc = op.labels[0]
+        elif op.op is Opcode.BR:
+            next_pc = op.labels[0] if values[0] != 0 else op.labels[1]
+        elif op.op is Opcode.CALL:
+            transfer = ("call", op, values)
+        elif op.op is Opcode.RET:
+            transfer = ("ret", op, values)
+        else:  # pragma: no cover - exhaustive over opcodes
+            raise SimulationError(f"unexecutable op {op.op}")
+
+    if transfer is None:
+        state.pc = next_pc
+        return
+
+    kind, op, values = transfer
+    if kind == "call":
+        callee = state.program.functions.get(op.callee)
+        if callee is None:
+            raise SimulationError(f"call to unknown function {op.callee!r}")
+        state.enter_function(
+            callee, values, op.dest, return_pc=state.pc + 1
+        )
+        state.busy_until = cycle + op.latency
+    else:
+        return_value = values[0] if values else None
+        state.leave_function(return_value)
+        state.busy_until = cycle + op.latency

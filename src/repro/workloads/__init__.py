@@ -1,0 +1,18 @@
+"""Workload generators: the paper's synthetic and user programs."""
+
+from .kernels import synthetic_function
+from .sizes import FUNCTION_COUNTS, SIZE_CLASSES, SIZE_ORDER, lines_for
+from .synthetic import all_synthetic_programs, synthetic_program
+from .user_program import user_program, user_program_function_count
+
+__all__ = [
+    "FUNCTION_COUNTS",
+    "SIZE_CLASSES",
+    "SIZE_ORDER",
+    "all_synthetic_programs",
+    "lines_for",
+    "synthetic_function",
+    "synthetic_program",
+    "user_program",
+    "user_program_function_count",
+]

@@ -1,0 +1,128 @@
+"""Synthetic Monte-Carlo-style compute kernels of controlled size.
+
+The paper derived its benchmark functions "from one of our largest
+application programs, a Monte Carlo style simulation"; each consists "of a
+loop nest (with deeply nested loop bodies in the case of the larger
+programs) that is representative with regard to compilation speed of a
+computation kernel for the Warp array" (§4.1).
+
+The generator is deterministic: the same (name, lines) always yields the
+same text, so work profiles are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Statement templates cycled through inner loop bodies.  Each is one
+#: source line; variables rotate so CSE cannot collapse everything.
+_STATEMENTS = [
+    "t := a[i] * b[j] + t * 0.9987;",
+    "u := u + a[j] * 0.5 - b[i] * 0.25;",
+    "acc := acc + t * u;",
+    "a[i] := a[i] + t * 0.001;",
+    "t := t + x * 1.01 - y * 0.99;",
+    "b[j] := b[j] * 0.9999 + u;",
+    "u := u * 0.75 + a[i] / 16.0;",
+    "acc := acc + b[j] - t / 64.0;",
+]
+
+
+def _loop_depth_for(lines: int) -> int:
+    """Deeper nests for bigger kernels, as the paper describes."""
+    if lines < 20:
+        return 1
+    if lines < 60:
+        return 2
+    return 3
+
+
+def synthetic_function(name: str, lines: int, indent: str = "  ") -> str:
+    """Source text of one function spanning approximately ``lines`` lines.
+
+    Very small targets produce a straight-line function; anything larger
+    gets the standard preamble (array initialization) plus as many loop
+    nests as needed to hit the target.
+    """
+    if lines < 8:
+        return _tiny_function(name, lines, indent)
+    return _loop_nest_function(name, lines, indent)
+
+
+def _tiny_function(name: str, lines: int, indent: str) -> str:
+    """'ftiny' flavor: a handful of straight-line statements."""
+    out: List[str] = [f"{indent}function {name}(x: float, y: float) : float"]
+    out.append(f"{indent}begin")
+    for k in range(max(1, lines - 3)):
+        if k == 0:
+            out.append(f"{indent}  x := x * 2.0 + y;")
+        else:
+            out.append(f"{indent}  y := y + x * 0.5;")
+    out.append(f"{indent}  return x + y;")
+    out.append(f"{indent}end")
+    return "\n".join(out)
+
+
+def _loop_nest_function(name: str, lines: int, indent: str) -> str:
+    depth = _loop_depth_for(lines)
+    out: List[str] = [f"{indent}function {name}(x: float, y: float) : float"]
+    out.append(f"{indent}var")
+    out.append(f"{indent}  a: array[64] of float;")
+    out.append(f"{indent}  b: array[64] of float;")
+    out.append(f"{indent}  i, j, k: int;")
+    out.append(f"{indent}  acc, t, u: float;")
+    out.append(f"{indent}begin")
+    out.append(f"{indent}  acc := 0.0;")
+    out.append(f"{indent}  t := x;")
+    out.append(f"{indent}  u := y;")
+    out.append(f"{indent}  for i := 0 to 63 do")
+    out.append(f"{indent}    a[i] := x * 0.5 + i;")
+    out.append(f"{indent}    b[i] := y + i * 0.25;")
+    out.append(f"{indent}  end;")
+    # Two trailing lines (return + end) close the function.
+    budget = lines - len(out) - 2
+    statement_index = 0
+    block_counter = 0
+    while budget > 0:
+        block_lines, block_text, statement_index = _loop_block(
+            depth, budget, indent + "  ", statement_index, block_counter
+        )
+        out.extend(block_text)
+        budget -= block_lines
+        block_counter += 1
+    out.append(f"{indent}  return acc + t - u;")
+    out.append(f"{indent}end")
+    return "\n".join(out)
+
+
+def _loop_block(
+    depth: int,
+    budget: int,
+    indent: str,
+    statement_index: int,
+    block_counter: int,
+):
+    """One loop nest of ``depth`` levels filled with as many statements as
+    the remaining line budget allows (at least one)."""
+    overhead = 2 * depth  # for/end pairs
+    body_statements = max(1, min(10, budget - overhead))
+    lines: List[str] = []
+    loop_vars = ["i", "j", "k"][:depth]
+    bounds = [63, 7, 3]
+    pad = indent
+    for level, var in enumerate(loop_vars):
+        lines.append(f"{pad}for {var} := 0 to {bounds[level]} do")
+        pad += "  "
+    # The inner loop variables referenced by templates must exist even in
+    # shallow nests: alias the missing ones to the outermost.
+    body_pad = pad
+    if depth == 1:
+        lines.append(f"{body_pad}j := i;")
+    for _ in range(body_statements):
+        stmt = _STATEMENTS[statement_index % len(_STATEMENTS)]
+        statement_index += 1
+        lines.append(f"{body_pad}{stmt}")
+    for level in range(depth - 1, -1, -1):
+        pad = indent + "  " * level
+        lines.append(f"{pad}end;")
+    return len(lines), lines, statement_index

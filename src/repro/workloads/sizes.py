@@ -1,0 +1,34 @@
+"""The paper's five benchmark function sizes (§4.1).
+
+"We used 5 functions of increasing size ... The functions consisted of 4,
+35, 100, 280 and 360 lines of code and were selected to require different
+amounts of compilation time."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: size-class name -> target lines of code
+SIZE_CLASSES: Dict[str, int] = {
+    "tiny": 4,
+    "small": 35,
+    "medium": 100,
+    "large": 280,
+    "huge": 360,
+}
+
+#: presentation order used throughout the paper's figures
+SIZE_ORDER: List[str] = ["tiny", "small", "medium", "large", "huge"]
+
+#: the function counts the paper varied (§4.1)
+FUNCTION_COUNTS: List[int] = [1, 2, 4, 8]
+
+
+def lines_for(size_class: str) -> int:
+    if size_class not in SIZE_CLASSES:
+        raise KeyError(
+            f"unknown size class {size_class!r}; "
+            f"choose from {sorted(SIZE_CLASSES)}"
+        )
+    return SIZE_CLASSES[size_class]

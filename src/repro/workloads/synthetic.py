@@ -1,0 +1,50 @@
+"""The paper's synthetic test programs S_n (§4.1).
+
+"Our test data consisted of a set of Warp programs: S_1 containing one
+f_tiny function, S_2 containing two f_tiny functions and so on" — one
+program per (size class, function count) pair, each program one section
+whose functions are identical copies of the size-class kernel, so the
+parallel tasks are "of equal size, because this allows optimal processor
+utilization".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import synthetic_function
+from .sizes import FUNCTION_COUNTS, SIZE_CLASSES, lines_for
+
+
+def synthetic_program(
+    size_class: str, n_functions: int, module_name: str = None
+) -> str:
+    """Source text of S_n for the given size class."""
+    if n_functions < 1:
+        raise ValueError(f"need at least one function, got {n_functions}")
+    lines = lines_for(size_class)
+    if module_name is None:
+        module_name = f"s{n_functions}_{size_class}"
+    functions = [
+        synthetic_function(f"f{index + 1}", lines)
+        for index in range(n_functions)
+    ]
+    body = "\n".join(functions)
+    return (
+        f"module {module_name}\n"
+        f"section sec1 (cells 0..0)\n"
+        f"{body}\n"
+        f"end\n"
+        f"end\n"
+    )
+
+
+def all_synthetic_programs() -> List[tuple]:
+    """Every (size class, n, source) combination the paper measured."""
+    programs = []
+    for size_class in SIZE_CLASSES:
+        for n in FUNCTION_COUNTS:
+            programs.append(
+                (size_class, n, synthetic_program(size_class, n))
+            )
+    return programs

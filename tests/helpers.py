@@ -1,0 +1,122 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.driver.sequential import SequentialCompiler
+from repro.ir.cfg import FunctionIR, ModuleIR
+from repro.ir.lowering import lower_module
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.parser import parse_text
+from repro.lang.sema import SemaResult, check_module
+from repro.machine.warp_array import WarpArrayModel
+from repro.warpsim.array_runner import RunResult, run_module
+
+Number = Union[int, float]
+
+
+def parse_ok(source: str):
+    """Parse + check; assert no diagnostics; return (module, sema)."""
+    sink = DiagnosticSink()
+    module = parse_text(source, sink)
+    assert not sink.has_errors, sink.render()
+    sema = check_module(module, sink)
+    assert not sink.has_errors, sink.render()
+    return module, sema
+
+
+def sema_errors(source: str) -> List[str]:
+    """Parse + check; return rendered error messages (may be empty)."""
+    sink = DiagnosticSink()
+    module = parse_text(source, sink)
+    if not sink.has_errors:
+        check_module(module, sink)
+    return [d.render() for d in sink.merged_in_source_order()]
+
+
+def lower_ok(source: str) -> ModuleIR:
+    module, sema = parse_ok(source)
+    return lower_module(module, sema)
+
+
+def single_function_ir(source: str) -> FunctionIR:
+    ir = lower_ok(source)
+    functions = list(ir.all_functions())
+    assert len(functions) == 1, f"expected 1 function, got {len(functions)}"
+    return functions[0]
+
+
+def wrap_function(body: str, cells: str = "0..0") -> str:
+    """Wrap one function's text into a single-section module."""
+    return f"module m\nsection s (cells {cells})\n{body}\nend\nend\n"
+
+
+def compile_and_run(
+    source: str,
+    inputs: List[Number],
+    opt_level: int = 2,
+    cell_count: int = 10,
+    max_cycles: int = 5_000_000,
+) -> RunResult:
+    """Compile with the sequential compiler and execute on the simulator."""
+    compiler = SequentialCompiler(
+        array=WarpArrayModel(cell_count=cell_count), opt_level=opt_level
+    )
+    result = compiler.compile(source)
+    return run_module(result.download, inputs, max_cycles=max_cycles)
+
+
+def compile_with_ir_transform(source: str, transform, opt_level: int = 2):
+    """Compile ``source`` applying ``transform(module_ir)`` after lowering.
+
+    Lets tests exercise optional transforms (unrolling, inlining) that the
+    standard driver does not run, through the full backend + linker.
+    """
+    from repro.codegen.compiler import compile_function
+    from repro.driver.phases import (
+        phase1_parse_and_check,
+        phase4_link_and_download,
+    )
+    from repro.ir.lowering import lower_module
+
+    parsed = phase1_parse_and_check(source)
+    module_ir = lower_module(parsed.module, parsed.sema)
+    transform(module_ir)
+    array = WarpArrayModel()
+    objects = {
+        name: [
+            compile_function(fn, array.cell, opt_level=opt_level)
+            for fn in fns
+        ]
+        for name, fns in module_ir.functions.items()
+    }
+    module, _assembly, _link = phase4_link_and_download(
+        parsed, objects, array
+    )
+    return module
+
+
+#: A one-cell module whose main echoes f(x) for each input — handy base
+#: for semantics tests: fill in the body of `f`.
+PIPELINE_TEMPLATE = """
+module t
+section s (cells 0..0)
+  function f(x: float) : float
+{body}
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to {count} do
+      receive(v);
+      send(f(v));
+    end;
+  end
+end
+end
+"""
+
+
+def echo_module(f_body: str, count: int) -> str:
+    """A module applying `f` to `count` external inputs on one cell."""
+    return PIPELINE_TEMPLATE.format(body=f_body, count=count)

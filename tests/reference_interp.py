@@ -1,0 +1,255 @@
+"""Reference interpreter: direct evaluation of the source semantics.
+
+Used as the oracle for differential testing — whatever the optimizer,
+scheduler, and software pipeliner do, compiled code executed on the Warp
+simulator must produce exactly what this interpreter produces.
+
+Supports one section; each cell of the section runs the section program
+in a chain, like the real array.  Arithmetic matches the machine:
+truncated integer division, IEEE doubles for floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.ir.instructions import _truncated_div, _truncated_mod
+from repro.lang import ast_nodes as ast
+from repro.lang.types import ArrayType, FLOAT, INT
+
+Number = Union[int, float]
+
+
+class ReferenceTrap(Exception):
+    """Division by zero or queue starvation in the reference semantics."""
+
+
+class _Returning(Exception):
+    def __init__(self, value: Optional[Number]):
+        self.value = value
+
+
+class _FunctionFrame:
+    def __init__(self, fn: ast.Function, args: List[Number]):
+        self.scalars: Dict[str, Number] = {}
+        self.arrays: Dict[str, List[Number]] = {}
+        for param, arg in zip(fn.params, args):
+            self.scalars[param.name] = _coerce(arg, param.type)
+        for decl in fn.locals:
+            if isinstance(decl.type, ArrayType):
+                zero = 0 if decl.type.element == INT else 0.0
+                self.arrays[decl.name] = [zero] * decl.type.length
+            else:
+                self.scalars[decl.name] = 0 if decl.type == INT else 0.0
+
+
+def _coerce(value: Number, target) -> Number:
+    if target == INT:
+        return int(value)
+    return float(value)
+
+
+class CellInterpreter:
+    """Runs one cell's section program against input/output streams."""
+
+    def __init__(self, section: ast.Section, inputs: List[Number]):
+        self.section = section
+        self.inputs = list(inputs)
+        self.outputs: List[Number] = []
+        self.functions = {fn.name: fn for fn in section.functions}
+
+    def run(self, entry_name: str) -> List[Number]:
+        entry = self.functions[entry_name]
+        try:
+            self.call(entry, [])
+        except _Returning:
+            pass
+        return self.outputs
+
+    def call(self, fn: ast.Function, args: List[Number]) -> Optional[Number]:
+        frame = _FunctionFrame(fn, args)
+        try:
+            for stmt in fn.body:
+                self._exec(stmt, frame)
+        except _Returning as ret:
+            if ret.value is None:
+                return None
+            return _coerce(ret.value, fn.return_type)
+        if fn.return_type == INT:
+            return 0
+        if fn.return_type == FLOAT:
+            return 0.0
+        return None
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec(self, stmt: ast.Stmt, frame: _FunctionFrame) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            value = self._eval(stmt.value, frame)
+            self._store(stmt.target, value, frame)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._eval(stmt.condition, frame) != 0:
+                for s in stmt.then_body:
+                    self._exec(s, frame)
+            else:
+                for s in stmt.else_body:
+                    self._exec(s, frame)
+        elif isinstance(stmt, ast.ForStmt):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, ast.WhileStmt):
+            while self._eval(stmt.condition, frame) != 0:
+                for s in stmt.body:
+                    self._exec(s, frame)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = (
+                self._eval(stmt.value, frame) if stmt.value is not None else None
+            )
+            raise _Returning(value)
+        elif isinstance(stmt, ast.SendStmt):
+            self.outputs.append(self._eval(stmt.value, frame))
+        elif isinstance(stmt, ast.ReceiveStmt):
+            if not self.inputs:
+                raise ReferenceTrap("receive on empty input stream")
+            self._store(stmt.target, self.inputs.pop(0), frame)
+        elif isinstance(stmt, ast.CallStmt):
+            self._eval(stmt.call, frame)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _exec_for(self, stmt: ast.ForStmt, frame: _FunctionFrame) -> None:
+        low = int(self._eval(stmt.low, frame))
+        high = int(self._eval(stmt.high, frame))
+        step = 1
+        if stmt.step is not None:
+            step = int(self._eval(stmt.step, frame))
+        frame.scalars[stmt.var] = low
+        value = low
+        while (step > 0 and value <= high) or (step < 0 and value >= high):
+            for s in stmt.body:
+                self._exec(s, frame)
+            value = int(frame.scalars[stmt.var]) + step
+            frame.scalars[stmt.var] = value
+
+    def _store(self, target: ast.Expr, value: Number, frame: _FunctionFrame):
+        if isinstance(target, ast.VarRef):
+            current = frame.scalars[target.name]
+            target_type = INT if isinstance(current, int) else FLOAT
+            frame.scalars[target.name] = _coerce(value, target_type)
+        elif isinstance(target, ast.IndexExpr):
+            array = frame.arrays[target.base.name]
+            index = int(self._eval(target.index, frame))
+            if not 0 <= index < len(array):
+                raise ReferenceTrap(f"index {index} out of bounds")
+            element = array[0]
+            target_type = INT if isinstance(element, int) else FLOAT
+            array[index] = _coerce(value, target_type)
+        else:  # pragma: no cover
+            raise AssertionError("bad store target")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, frame: _FunctionFrame) -> Number:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.FloatLiteral):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            return frame.scalars[expr.name]
+        if isinstance(expr, ast.IndexExpr):
+            array = frame.arrays[expr.base.name]
+            index = int(self._eval(expr.index, frame))
+            if not 0 <= index < len(array):
+                raise ReferenceTrap(f"index {index} out of bounds")
+            return array[index]
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                return -operand
+            return 0 if operand else 1
+        if isinstance(expr, ast.BinaryExpr):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, ast.CallExpr):
+            if expr.callee in ("abs", "sqrt", "min", "max"):
+                return self._eval_builtin(expr, frame)
+            fn = self.functions[expr.callee]
+            args = [
+                _coerce(self._eval(arg, frame), param.type)
+                for arg, param in zip(expr.args, fn.params)
+            ]
+            return self.call(fn, args)
+        raise AssertionError(  # pragma: no cover
+            f"unhandled expression {type(expr).__name__}"
+        )
+
+    def _eval_builtin(self, expr: ast.CallExpr, frame) -> Number:
+        import math
+
+        values = [self._eval(arg, frame) for arg in expr.args]
+        if expr.callee == "abs":
+            return abs(values[0])
+        if expr.callee == "sqrt":
+            value = float(values[0])
+            if value < 0:
+                raise ReferenceTrap("sqrt of a negative number")
+            return math.sqrt(value)
+        left, right = values
+        if isinstance(left, float) or isinstance(right, float):
+            left, right = float(left), float(right)
+        return min(left, right) if expr.callee == "min" else max(left, right)
+
+    def _eval_binary(self, expr: ast.BinaryExpr, frame) -> Number:
+        op = expr.op
+        if op == "and":
+            left = self._eval(expr.left, frame)
+            right = self._eval(expr.right, frame)
+            return 1 if (left and right) else 0
+        if op == "or":
+            left = self._eval(expr.left, frame)
+            right = self._eval(expr.right, frame)
+            return 1 if (left or right) else 0
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if isinstance(left, float) or isinstance(right, float):
+            left, right = float(left), float(right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ReferenceTrap("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return _truncated_div(left, right)
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ReferenceTrap("modulo by zero")
+            return _truncated_mod(left, right)
+        comparisons = {
+            "=": left == right,
+            "<>": left != right,
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }
+        return 1 if comparisons[op] else 0
+
+
+def interpret_module(module: ast.Module, inputs: List[Number]) -> List[Number]:
+    """Run a (possibly multi-cell) single/multi-section module.
+
+    Cells run left to right; each cell's outputs feed the next cell, as on
+    the array.  Entry per section: 'main' if present else first function.
+    """
+    stream = list(inputs)
+    for section in sorted(module.sections, key=lambda s: s.first_cell):
+        entry = "main" if section.function_named("main") else (
+            section.functions[0].name
+        )
+        for _cell in range(section.cell_count):
+            interp = CellInterpreter(section, stream)
+            stream = interp.run(entry)
+    return stream

@@ -1,0 +1,160 @@
+"""The warpcc command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+module cli_demo
+section s (cells 0..0)
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to 3 do receive(v); send(v * 2.0); end;
+  end
+end
+end
+"""
+
+BAD = """
+module broken
+section s (cells 0..0)
+  function main() begin undeclared := 1; end
+end
+end
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.w2"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.w2"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestCompile:
+    def test_report(self, good_file, capsys):
+        assert main(["compile", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "s.main" in out
+        assert "download module" in out
+
+    def test_digest(self, good_file, capsys):
+        assert main(["compile", good_file, "--emit", "digest"]) == 0
+        out = capsys.readouterr().out
+        assert "download-module cli_demo" in out
+
+    def test_driver_descriptor(self, good_file, capsys):
+        assert main(["compile", good_file, "--emit", "driver"]) == 0
+        out = capsys.readouterr().out
+        assert "io-driver" in out
+
+    def test_errors_to_stderr_with_exit_code(self, bad_file, capsys):
+        assert main(["compile", bad_file]) == 1
+        err = capsys.readouterr().err
+        assert "undeclared" in err
+
+    def test_parallel_serial_fallback(self, good_file, capsys):
+        assert main(
+            ["compile", good_file, "--parallel", "--jobs", "1"]
+        ) == 0
+
+    def test_opt_levels(self, good_file, capsys):
+        for level in ("0", "1", "2"):
+            assert main(["compile", good_file, "-O", level]) == 0
+
+    def test_emit_binary_round_trips(self, good_file, tmp_path, capsys):
+        from repro.asmlink.encode import read_module
+        from repro.warpsim.array_runner import run_module
+
+        out = tmp_path / "demo.warp"
+        assert main(
+            ["compile", good_file, "--emit", "binary", "-o", str(out)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        module = read_module(str(out))
+        result = run_module(module, [1.0, 2.0, 3.0])
+        assert result.output_floats() == [2.0, 4.0, 6.0]
+
+    def test_parallel_digest_matches_sequential(self, good_file, capsys):
+        main(["compile", good_file, "--emit", "digest"])
+        sequential = capsys.readouterr().out
+        main(["compile", good_file, "--parallel", "--jobs", "1",
+              "--emit", "digest"])
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+
+class TestRun:
+    def test_runs_program(self, good_file, capsys):
+        assert main(["run", good_file, "--inputs", "1,2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "2.0 4.0 6.0" in out
+        assert "cycles:" in out
+
+    def test_empty_inputs(self, tmp_path, capsys):
+        path = tmp_path / "noin.w2"
+        path.write_text(
+            "module m\nsection s (cells 0..0)\n"
+            "function main() begin send(7.5); end\nend\nend"
+        )
+        assert main(["run", str(path)]) == 0
+        assert "7.5" in capsys.readouterr().out
+
+    def test_compile_error_propagates(self, bad_file, capsys):
+        assert main(["run", bad_file]) == 1
+
+    def test_runs_prebuilt_binary_module(self, good_file, tmp_path, capsys):
+        out = tmp_path / "prog.warp"
+        assert main(
+            ["compile", good_file, "--emit", "binary", "-o", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["run", str(out), "--inputs", "2,4,6"]) == 0
+        assert "4.0 8.0 12.0" in capsys.readouterr().out
+
+
+class TestDisasm:
+    def test_disassembles_binary_module(self, good_file, tmp_path, capsys):
+        out = tmp_path / "prog.warp"
+        main(["compile", good_file, "--emit", "binary", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["disasm", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "download-module cli_demo" in text
+        assert "recv" in text and "send" in text
+
+    def test_disasm_matches_compile_digest(self, good_file, tmp_path, capsys):
+        out = tmp_path / "prog.warp"
+        main(["compile", good_file, "--emit", "binary", "-o", str(out)])
+        capsys.readouterr()
+        main(["compile", good_file, "--emit", "digest"])
+        digest = capsys.readouterr().out
+        main(["disasm", str(out)])
+        assert capsys.readouterr().out == digest
+
+    def test_bad_file_errors(self, tmp_path, capsys):
+        bogus = tmp_path / "junk.warp"
+        bogus.write_bytes(b"not a module")
+        assert main(["disasm", str(bogus)]) == 1
+        assert "magic" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_point(self, capsys):
+        assert main(["bench", "tiny", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "system overhead:" in out
+
+    def test_bench_with_processors(self, capsys):
+        assert main(["bench", "tiny", "4", "--processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 workstation(s)" in out

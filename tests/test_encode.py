@@ -1,0 +1,110 @@
+"""Binary download-module format: round-trip and robustness."""
+
+import pytest
+
+from repro.asmlink.download import module_digest
+from repro.asmlink.encode import (
+    FormatError,
+    decode_module,
+    encode_module,
+    read_module,
+    write_module,
+)
+from repro.driver.sequential import SequentialCompiler
+from repro.warpsim.array_runner import run_module
+
+from helpers import echo_module, wrap_function
+
+SOURCE = echo_module(
+    "  var i: int; acc: float; a: array[8] of float;\n"
+    "  begin\n"
+    "    for i := 0 to 7 do a[i] := x + i; end;\n"
+    "    acc := 0.0;\n"
+    "    for i := 0 to 7 do acc := acc + a[i]; end;\n"
+    "    return acc;\n"
+    "  end",
+    2,
+)
+
+MULTI_SECTION = """
+module two
+section a (cells 0..1)
+  function helper(v: float) : float begin return v + 1.0; end
+  function main()
+  var v: float; k: int;
+  begin for k := 1 to 2 do receive(v); send(helper(v)); end; end
+end
+section b (cells 2..2)
+  function main()
+  var v: float; k: int;
+  begin for k := 1 to 2 do receive(v); send(v * 2.0); end; end
+end
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return SequentialCompiler().compile(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def compiled_multi():
+    return SequentialCompiler().compile(MULTI_SECTION)
+
+
+class TestRoundTrip:
+    def test_digest_preserved(self, compiled):
+        data = encode_module(compiled.download)
+        decoded = decode_module(data)
+        assert module_digest(decoded) == compiled.digest
+
+    def test_multi_section_digest_preserved(self, compiled_multi):
+        decoded = decode_module(encode_module(compiled_multi.download))
+        assert module_digest(decoded) == compiled_multi.digest
+
+    def test_decoded_module_executes_identically(self, compiled):
+        decoded = decode_module(encode_module(compiled.download))
+        original = run_module(compiled.download, [1.0, 2.0])
+        replayed = run_module(decoded, [1.0, 2.0])
+        assert replayed.outputs == original.outputs
+        assert replayed.cycles == original.cycles
+
+    def test_replicated_sections_share_one_program(self, compiled_multi):
+        decoded = decode_module(encode_module(compiled_multi.download))
+        assert decoded.cell_programs[0] is decoded.cell_programs[1]
+        assert decoded.cell_programs[2] is not decoded.cell_programs[0]
+
+    def test_file_round_trip(self, compiled, tmp_path):
+        path = tmp_path / "module.warp"
+        size = write_module(compiled.download, str(path))
+        assert path.stat().st_size == size
+        loaded = read_module(str(path))
+        assert module_digest(loaded) == compiled.digest
+
+    def test_encoding_deterministic(self, compiled):
+        assert encode_module(compiled.download) == encode_module(
+            compiled.download
+        )
+
+
+class TestRobustness:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError, match="magic"):
+            decode_module(b"NOPE" + b"\x00" * 32)
+
+    def test_bad_version_rejected(self, compiled):
+        data = bytearray(encode_module(compiled.download))
+        data[4] = 0xFF
+        with pytest.raises(FormatError, match="version"):
+            decode_module(bytes(data))
+
+    def test_truncation_rejected(self, compiled):
+        data = encode_module(compiled.download)
+        with pytest.raises(FormatError):
+            decode_module(data[: len(data) // 2])
+
+    def test_size_reasonable(self, compiled):
+        """The binary form is smaller than the textual digest."""
+        data = encode_module(compiled.download)
+        assert len(data) < len(compiled.digest.encode("utf-8"))

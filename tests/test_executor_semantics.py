@@ -1,0 +1,190 @@
+"""Cycle-level executor semantics, tested with hand-built bundles.
+
+These pin down the timing contract the scheduler compiles against:
+reads at issue, write-back after latency, bundle atomicity.
+"""
+
+import pytest
+
+from repro.asmlink.objformat import (
+    AssembledFunction,
+    Bundle,
+    CellProgram,
+    DownloadModule,
+    MachineOp,
+)
+from repro.ir.instructions import Opcode
+from repro.machine.resources import FUClass, PhysReg
+from repro.machine.warp_array import WarpArrayModel
+from repro.warpsim.array_runner import run_module
+
+R0 = PhysReg("i", 0)
+R1 = PhysReg("i", 1)
+R2 = PhysReg("i", 2)
+
+
+def op(opcode, dest=None, operands=(), latency=1, fu=FUClass.IALU, **kw):
+    return MachineOp(
+        op=opcode, fu=fu, latency=latency, dest=dest, operands=operands, **kw
+    )
+
+
+def run_bundles(bundles):
+    function = AssembledFunction(
+        name="main", section_name="s", bundles=bundles
+    )
+    program = CellProgram(
+        section_name="s",
+        functions={"main": function},
+        entry="main",
+        frame_bases={"main": 0},
+        data_words=0,
+    )
+    module = DownloadModule(module_name="t", cell_programs={0: program})
+    return run_module(module, [], array=WarpArrayModel(cell_count=1))
+
+
+def bundle(*ops):
+    b = Bundle()
+    for one in ops:
+        b.add(one)
+    return b
+
+
+class TestWriteBackTiming:
+    def test_read_in_same_cycle_sees_old_value(self):
+        """A reader issued in the same cycle as a writer gets the OLD
+        value (reads at issue, writes after latency)."""
+        bundles = [
+            # r0 := 5
+            bundle(op(Opcode.LI, dest=R0, operands=(5,))),
+            # simultaneously: r0 := 9 (IALU)  and  r1 := r0 (FALU-free? both
+            # int: use MOV on IALU + ADD? two IALU ops collide) — put the
+            # reader on the integer ALU and the writer as a LOAD-free LI on
+            # ... LI is IALU too; use MEM-free approach: reader = ADD on
+            # IALU, writer = RECV? Simplest: writer LI on IALU in cycle 2,
+            # reader uses value written at cycle 1 with latency 2.
+            bundle(op(Opcode.LI, dest=R0, operands=(9,), latency=3)),
+            # r0's new value lands at cycle 1+3=4; this read at cycle 2
+            # still sees 5.
+            bundle(op(Opcode.ADD, dest=R1, operands=(R0, 0))),
+            bundle(),
+            bundle(),  # by now r0 == 9
+            bundle(op(Opcode.ADD, dest=R2, operands=(R0, 0))),
+            bundle(),
+            bundle(
+                op(Opcode.SEND, operands=(R1,), fu=FUClass.IO),
+            ),
+            bundle(
+                op(Opcode.SEND, operands=(R2,), fu=FUClass.IO),
+            ),
+            bundle(op(Opcode.RET, fu=FUClass.SEQ)),
+        ]
+        result = run_bundles(bundles)
+        assert result.outputs == [5, 9]
+
+    def test_branch_reads_condition_at_issue(self):
+        bundles = [
+            bundle(op(Opcode.LI, dest=R0, operands=(1,))),
+            bundle(op(Opcode.LI, dest=R0, operands=(0,), latency=5)),
+            # Branch at cycle 2 still sees r0 == 1 -> taken.
+            bundle(
+                op(
+                    Opcode.BR,
+                    operands=(R0,),
+                    fu=FUClass.SEQ,
+                    labels=(4, 3),
+                )
+            ),
+            bundle(op(Opcode.RET, fu=FUClass.SEQ)),  # not taken path
+            bundle(op(Opcode.SEND, operands=(7,), fu=FUClass.IO)),
+            bundle(op(Opcode.RET, fu=FUClass.SEQ)),
+        ]
+        result = run_bundles(bundles)
+        assert result.outputs == [7]
+
+    def test_store_load_latency(self):
+        bundles = [
+            # store 42 to address 0 (lands end of cycle 0 -> visible @1)
+            bundle(
+                op(
+                    Opcode.STORE,
+                    operands=(0, 42),
+                    fu=FUClass.MEM,
+                    array_offset=0,
+                )
+            ),
+            bundle(
+                op(
+                    Opcode.LOAD,
+                    dest=R0,
+                    operands=(0,),
+                    fu=FUClass.MEM,
+                    latency=2,
+                    array_offset=0,
+                )
+            ),
+            bundle(),
+            bundle(),
+            bundle(op(Opcode.SEND, operands=(R0,), fu=FUClass.IO)),
+            bundle(op(Opcode.RET, fu=FUClass.SEQ)),
+        ]
+        result = run_bundles(bundles)
+        assert result.outputs == [42]
+
+    def test_ops_in_one_bundle_read_consistent_state(self):
+        bundles = [
+            bundle(op(Opcode.LI, dest=R0, operands=(10,))),
+            # Both read r0 == 10 even though one writes it.
+            bundle(
+                op(Opcode.ADD, dest=R0, operands=(R0, 1)),
+                op(
+                    Opcode.ADD,
+                    dest=PhysReg("f", 0),
+                    operands=(R0, R0),
+                    fu=FUClass.FALU,
+                    latency=5,
+                ),
+            ),
+            bundle(),
+            bundle(),
+            bundle(),
+            bundle(),
+            bundle(
+                op(
+                    Opcode.SEND,
+                    operands=(PhysReg("f", 0),),
+                    fu=FUClass.IO,
+                )
+            ),
+            bundle(op(Opcode.SEND, operands=(R0,), fu=FUClass.IO)),
+            bundle(op(Opcode.RET, fu=FUClass.SEQ)),
+        ]
+        result = run_bundles(bundles)
+        assert result.outputs == [20.0, 11]
+
+
+class TestTrapPaths:
+    def test_fall_off_function_end_traps(self):
+        from repro.warpsim.cell_state import SimulationError
+
+        bundles = [bundle(op(Opcode.LI, dest=R0, operands=(1,)))]
+        with pytest.raises(SimulationError, match="past the end"):
+            run_bundles(bundles)
+
+    def test_unknown_callee_traps(self):
+        from repro.warpsim.cell_state import SimulationError
+
+        bundles = [
+            bundle(
+                op(
+                    Opcode.CALL,
+                    fu=FUClass.SEQ,
+                    latency=4,
+                    callee="ghost",
+                )
+            ),
+            bundle(op(Opcode.RET, fu=FUClass.SEQ)),
+        ]
+        with pytest.raises(SimulationError, match="unknown function"):
+            run_bundles(bundles)

@@ -1,0 +1,110 @@
+"""Fault-tolerant parallel compilation (the §5.2 reliability problem)."""
+
+import pytest
+
+from repro.driver.master import ParallelCompiler
+from repro.driver.sequential import SequentialCompiler
+from repro.parallel.fault_tolerance import (
+    FlakyBackend,
+    FunctionMasterFailure,
+    RetryBudgetExceeded,
+    RetryingBackend,
+)
+from repro.parallel.local import SerialBackend
+
+from helpers import wrap_function
+
+SOURCE = wrap_function(
+    "\n".join(
+        f"function f{i}(x: float) : float begin return x + {float(i)}; end"
+        for i in range(6)
+    )
+)
+
+
+def flaky(rate: float, seed: int = 7, **kwargs) -> FlakyBackend:
+    return FlakyBackend(SerialBackend(), rate, seed=seed, **kwargs)
+
+
+class TestFlakyBackend:
+    def test_zero_rate_is_transparent(self):
+        par = ParallelCompiler(backend=flaky(0.0)).compile(SOURCE)
+        seq = SequentialCompiler().compile(SOURCE)
+        assert par.digest == seq.digest
+
+    def test_failures_are_deterministic(self):
+        from repro.driver.phases import phase1_parse_and_check
+
+        a = flaky(0.5, seed=3)
+        b = flaky(0.5, seed=3)
+        tasks = ParallelCompiler(backend=SerialBackend())._build_tasks(
+            phase1_parse_and_check(SOURCE), SOURCE, "<t>"
+        )
+        _, fail_a = a.run_tasks_partial(tasks)
+        _, fail_b = b.run_tasks_partial(tasks)
+        assert [f.task.function_name for f in fail_a] == [
+            f.task.function_name for f in fail_b
+        ]
+
+    def test_run_tasks_raises_on_injected_failure(self):
+        backend = flaky(0.999, seed=1)
+        with pytest.raises(FunctionMasterFailure):
+            ParallelCompiler(backend=backend).compile(SOURCE)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            flaky(1.0)
+
+
+class TestRetryingBackend:
+    def test_recovers_from_transient_failures(self):
+        # Each task fails at most twice; three attempts always suffice.
+        inner = flaky(0.9, seed=11, max_failures_per_task=2)
+        backend = RetryingBackend(inner, max_attempts=3)
+        par = ParallelCompiler(backend=backend).compile(SOURCE)
+        seq = SequentialCompiler().compile(SOURCE)
+        assert par.digest == seq.digest
+        assert inner.injected_failures > 0
+        assert backend.retries_performed >= inner.injected_failures
+
+    def test_budget_exhaustion_raises(self):
+        inner = flaky(0.999, seed=2)  # practically always failing
+        backend = RetryingBackend(inner, max_attempts=2)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            ParallelCompiler(backend=backend).compile(SOURCE)
+        assert excinfo.value.failures
+
+    def test_wraps_plain_backend_without_partial_api(self):
+        backend = RetryingBackend(SerialBackend(), max_attempts=2)
+        par = ParallelCompiler(backend=backend).compile(SOURCE)
+        seq = SequentialCompiler().compile(SOURCE)
+        assert par.digest == seq.digest
+        assert backend.retries_performed == 0
+
+    def test_catches_real_exceptions_per_task(self):
+        class ExplodingBackend:
+            worker_count = 1
+
+            def __init__(self):
+                self.calls = 0
+
+            def run_tasks(self, tasks):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("child process killed")
+                return SerialBackend().run_tasks(tasks)
+
+        backend = RetryingBackend(ExplodingBackend(), max_attempts=3)
+        par = ParallelCompiler(backend=backend).compile(SOURCE)
+        assert len(par.profile.functions) == 6
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryingBackend(SerialBackend(), max_attempts=0)
+
+    def test_retried_results_arrive_in_any_order_but_combine_correctly(self):
+        inner = flaky(0.6, seed=5, max_failures_per_task=1)
+        backend = RetryingBackend(inner, max_attempts=2)
+        par = ParallelCompiler(backend=backend).compile(SOURCE)
+        names = [f.name for f in par.profile.functions]
+        assert names == [f"f{i}" for i in range(6)]  # source order restored

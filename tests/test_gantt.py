@@ -1,0 +1,82 @@
+"""Gantt rendering and utilization metrics."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSimulation, CompileSpan, TimingReport
+from repro.metrics.gantt import render_gantt, utilization
+
+from test_cluster import make_profile
+
+
+def real_report():
+    sim = ClusterSimulation()
+    profile = make_profile([50000, 50000, 50000])
+    return sim.run_parallel(profile, processors=3)
+
+
+class TestGantt:
+    def test_one_row_per_machine(self):
+        report = real_report()
+        text = render_gantt(report)
+        lines = text.splitlines()
+        machines = {s.machine for s in report.spans}
+        assert len(lines) == 1 + len(machines)
+
+    def test_rows_have_requested_width(self):
+        text = render_gantt(real_report(), width=40)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_contains_all_three_glyphs(self):
+        text = render_gantt(real_report())
+        assert "=" in text  # startup
+        assert "#" in text  # compute
+        assert "." in text  # idle (the home row never hosts compiles)
+
+    def test_startup_precedes_compute(self):
+        text = render_gantt(real_report(), width=60)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            if "#" in bar and "=" in bar:
+                assert bar.index("=") < bar.index("#")
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt(TimingReport(elapsed=0.0))
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt(real_report(), width=5)
+
+    def test_synthetic_span_placement(self):
+        report = TimingReport(elapsed=100.0, cpu_busy={"m": 50.0})
+        report.spans.append(
+            CompileSpan(
+                section_name="s",
+                function_name="f",
+                machine="m",
+                start=0.0,
+                compute_start=25.0,
+                end=75.0,
+            )
+        )
+        bar = render_gantt(report, width=20).splitlines()[1].split("|")[1]
+        assert bar == "=====##########....."
+
+
+class TestUtilization:
+    def test_fractions_in_range(self):
+        report = real_report()
+        for value in utilization(report).values():
+            assert 0.0 <= value <= 1.0
+
+    def test_busy_machine_has_high_utilization(self):
+        report = TimingReport(elapsed=100.0, cpu_busy={"a": 90.0, "b": 10.0})
+        result = utilization(report)
+        assert result["a"] == pytest.approx(0.9)
+        assert result["b"] == pytest.approx(0.1)
+
+    def test_zero_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(TimingReport(elapsed=0.0))

@@ -1,0 +1,86 @@
+"""Section-level vs function-level task granularity (§3.1).
+
+"The original plan was to parallelize only the compilation of programs
+for different sections, but then we realized that since the compiler
+performs only minimal inter-procedural optimizations, the scheme could be
+extended to handle the parallel compilation of multiple functions in the
+same section as well."
+"""
+
+import pytest
+
+from repro.driver.function_master import FunctionTask, run_compile_task, run_function_master
+from repro.driver.master import ParallelCompiler
+from repro.driver.sequential import SequentialCompiler
+from repro.parallel.local import ProcessPoolBackend, SerialBackend
+
+from helpers import wrap_function
+
+SOURCE = """
+module grains
+section a (cells 0..0)
+  function a1(x: float) : float begin return x + 1.0; end
+  function a2(x: float) : float begin return x + 2.0; end
+end
+section b (cells 1..1)
+  function b1(x: float) : float begin return x * 3.0; end
+end
+end
+"""
+
+
+class TestSectionTasks:
+    def test_section_task_compiles_all_functions(self):
+        task = FunctionTask(SOURCE, "<t>", "a", None)
+        results = run_compile_task(task)
+        assert [r.function_name for r in results] == ["a1", "a2"]
+
+    def test_function_task_still_single(self):
+        task = FunctionTask(SOURCE, "<t>", "a", "a2")
+        results = run_compile_task(task)
+        assert [r.function_name for r in results] == ["a2"]
+
+    def test_run_function_master_rejects_section_tasks(self):
+        with pytest.raises(ValueError, match="section-level"):
+            run_function_master(FunctionTask(SOURCE, "<t>", "a", None))
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError):
+            run_compile_task(FunctionTask(SOURCE, "<t>", "zz", None))
+
+
+class TestGranularityOption:
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError, match="granularity"):
+            ParallelCompiler(granularity="module")
+
+    def test_section_granularity_builds_one_task_per_section(self):
+        from repro.driver.phases import phase1_parse_and_check
+
+        compiler = ParallelCompiler(granularity="section")
+        tasks = compiler._build_tasks(
+            phase1_parse_and_check(SOURCE), SOURCE, "<t>"
+        )
+        assert [(t.section_name, t.function_name) for t in tasks] == [
+            ("a", None),
+            ("b", None),
+        ]
+
+    def test_both_granularities_produce_identical_output(self):
+        sequential = SequentialCompiler().compile(SOURCE)
+        by_function = ParallelCompiler(
+            backend=SerialBackend(), granularity="function"
+        ).compile(SOURCE)
+        by_section = ParallelCompiler(
+            backend=SerialBackend(), granularity="section"
+        ).compile(SOURCE)
+        assert by_function.digest == sequential.digest
+        assert by_section.digest == sequential.digest
+
+    def test_section_granularity_with_process_pool(self):
+        sequential = SequentialCompiler().compile(SOURCE)
+        parallel = ParallelCompiler(
+            backend=ProcessPoolBackend(max_workers=2),
+            granularity="section",
+        ).compile(SOURCE)
+        assert parallel.digest == sequential.digest

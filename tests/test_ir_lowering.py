@@ -1,0 +1,225 @@
+"""Lowering tests: AST -> three-address IR."""
+
+import pytest
+
+from repro.ir.cfg import FunctionIR
+from repro.ir.instructions import Opcode
+from repro.ir.values import Const, IR_FLOAT, IR_INT, VReg
+
+from helpers import lower_ok, single_function_ir, wrap_function
+
+
+def ops_of(fn: FunctionIR):
+    return [instr.op for instr in fn.all_instructions()]
+
+
+class TestStorageBinding:
+    def test_params_become_registers(self):
+        fn = single_function_ir(
+            wrap_function("function f(x: float, n: int) begin end")
+        )
+        assert len(fn.param_regs) == 2
+        assert fn.param_regs[0].type == IR_FLOAT
+        assert fn.param_regs[1].type == IR_INT
+
+    def test_arrays_get_frame_offsets(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f()\nvar a: array[10] of int; "
+                "b: array[6] of float;\nbegin end"
+            )
+        )
+        assert [(a.name, a.offset, a.length) for a in fn.arrays] == [
+            ("a", 0, 10),
+            ("b", 10, 6),
+        ]
+        assert fn.frame_words() == 16
+
+    def test_scalar_locals_zero_initialized(self):
+        fn = single_function_ir(
+            wrap_function("function f()\nvar i: int; x: float;\nbegin end")
+        )
+        movs = [
+            i for i in fn.entry.instructions if i.op is Opcode.MOV
+        ]
+        assert len(movs) == 2
+        assert movs[0].operands[0] == Const(0, IR_INT)
+        assert movs[1].operands[0] == Const(0.0, IR_FLOAT)
+
+
+class TestControlFlow:
+    def test_if_produces_branch_and_join(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f(n: int)\nbegin\n"
+                "if n > 0 then n := 1; else n := 2; end;\nend"
+            )
+        )
+        names = [b.name for b in fn.blocks]
+        assert "if.then" in names
+        assert "if.else" in names
+        assert "if.join" in names
+
+    def test_for_loop_structure(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f()\nvar i: int;\n"
+                "begin for i := 0 to 9 do i := i; end; end"
+            )
+        )
+        names = [b.name for b in fn.blocks]
+        assert {"for.header", "for.body", "for.exit"} <= set(names)
+        header = fn.block_named("for.header")
+        assert header.terminator.op is Opcode.BR
+        compare = header.body[0]
+        assert compare.op is Opcode.CLE
+
+    def test_downward_loop_uses_cge(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f()\nvar i: int;\n"
+                "begin for i := 9 to 0 by -3 do i := i; end; end"
+            )
+        )
+        header = fn.block_named("for.header")
+        assert header.body[0].op is Opcode.CGE
+
+    def test_while_loop(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f(n: int)\nbegin while n > 0 do n := n - 1; end; end"
+            )
+        )
+        names = [b.name for b in fn.blocks]
+        assert {"while.header", "while.body", "while.exit"} <= set(names)
+
+    def test_every_block_has_terminator(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f(n: int) : int\nbegin\n"
+                "if n > 2 then return 1; end;\n"
+                "while n > 0 do n := n - 1; end;\n"
+                "return n;\nend"
+            )
+        )
+        fn.validate()  # raises if any block lacks a terminator
+
+    def test_code_after_return_removed_as_unreachable(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f() : int begin return 1; return 2; end"
+            )
+        )
+        rets = [i for i in fn.all_instructions() if i.op is Opcode.RET]
+        assert len(rets) == 1
+
+    def test_fall_off_end_returns_zero_for_typed_function(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f(n: int) : int\nbegin\n"
+                "if n > 0 then return 1; end;\nend"
+            )
+        )
+        rets = [i for i in fn.all_instructions() if i.op is Opcode.RET]
+        assert any(
+            r.operands and isinstance(r.operands[0], Const) for r in rets
+        )
+
+
+class TestExpressions:
+    def test_mixed_arithmetic_inserts_itof(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f(x: float, n: int) : float\n"
+                "begin return x + n; end"
+            )
+        )
+        assert Opcode.ITOF in ops_of(fn)
+
+    def test_const_int_to_float_folds_at_lowering(self):
+        fn = single_function_ir(
+            wrap_function("function f(x: float) : float begin return x + 1; end")
+        )
+        adds = [i for i in fn.all_instructions() if i.op is Opcode.ADD]
+        assert adds[0].operands[1] == Const(1.0, IR_FLOAT)
+
+    def test_modulo_stays_integer(self):
+        fn = single_function_ir(
+            wrap_function("function f(n: int) : int begin return n % 3; end")
+        )
+        mods = [i for i in fn.all_instructions() if i.op is Opcode.MOD]
+        assert mods[0].dest.type == IR_INT
+
+    def test_call_lowering_passes_coerced_args(self):
+        ir = lower_ok(
+            wrap_function(
+                "function g(x: float) : float begin return x; end\n"
+                "function f() : float begin return g(2); end"
+            )
+        )
+        f = ir.function_named("s", "f")
+        calls = [i for i in f.all_instructions() if i.op is Opcode.CALL]
+        assert len(calls) == 1
+        assert calls[0].operands[0] == Const(2.0, IR_FLOAT)
+        assert calls[0].dest is not None
+
+    def test_void_call_has_no_dest(self):
+        ir = lower_ok(
+            wrap_function(
+                "function g() begin end\n"
+                "function f() begin g(); end"
+            )
+        )
+        f = ir.function_named("s", "f")
+        calls = [i for i in f.all_instructions() if i.op is Opcode.CALL]
+        assert calls[0].dest is None
+
+    def test_send_receive_lowering(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f()\nvar x: float;\nbegin receive(x); send(x * 2.0); end"
+            )
+        )
+        ops = ops_of(fn)
+        assert Opcode.RECV in ops
+        assert Opcode.SEND in ops
+
+    def test_receive_into_array_element(self):
+        fn = single_function_ir(
+            wrap_function(
+                "function f()\nvar a: array[4] of float;\n"
+                "begin receive(a[1]); end"
+            )
+        )
+        ops = ops_of(fn)
+        assert Opcode.RECV in ops
+        assert Opcode.STORE in ops
+
+    def test_loop_bound_hoisted_into_dedicated_register(self):
+        """Pascal 'to' semantics: the bound is evaluated once."""
+        fn = single_function_ir(
+            wrap_function(
+                "function f(n: int)\nvar i: int;\n"
+                "begin for i := 0 to n do n := n - 1; end; end"
+            )
+        )
+        header = fn.block_named("for.header")
+        compare = header.body[0]
+        bound_reg = compare.operands[1]
+        assert isinstance(bound_reg, VReg)
+        # The body must not write the hoisted bound register.
+        body = fn.block_named("for.body")
+        assert all(i.dest != bound_reg for i in body.instructions)
+
+
+class TestDeterminism:
+    def test_lowering_is_deterministic(self):
+        from repro.ir.printer import print_function
+
+        src = wrap_function(
+            "function f(x: float) : float\nvar a: array[8] of float; i: int;\n"
+            "begin for i := 0 to 7 do a[i] := x; end; return a[0]; end"
+        )
+        first = print_function(single_function_ir(src))
+        second = print_function(single_function_ir(src))
+        assert first == second

@@ -1,0 +1,164 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.lexer import tokenize
+from repro.lang.source import SourceFile
+from repro.lang.tokens import TokenKind
+
+
+def lex(text: str):
+    sink = DiagnosticSink()
+    tokens = tokenize(SourceFile("<test>", text), sink)
+    return tokens, sink
+
+
+def kinds(text: str):
+    tokens, sink = lex(text)
+    assert not sink.has_errors, sink.render()
+    return [t.kind for t in tokens]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n  \r\n") == [TokenKind.EOF]
+
+    def test_identifier(self):
+        tokens, _ = lex("foo_bar42")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "foo_bar42"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("module section function begin end") == [
+            TokenKind.MODULE,
+            TokenKind.SECTION,
+            TokenKind.FUNCTION,
+            TokenKind.BEGIN,
+            TokenKind.END,
+            TokenKind.EOF,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens, _ = lex("formula")
+        assert tokens[0].kind is TokenKind.IDENT
+
+    def test_case_sensitive_keywords(self):
+        tokens, _ = lex("Module")
+        assert tokens[0].kind is TokenKind.IDENT
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        tokens, _ = lex("42")
+        assert tokens[0].kind is TokenKind.INT_LIT
+        assert tokens[0].value == 42
+
+    def test_float_literal(self):
+        tokens, _ = lex("3.25")
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[0].value == 3.25
+
+    def test_float_with_exponent(self):
+        tokens, _ = lex("1e3 2.5e-2")
+        assert tokens[0].value == 1000.0
+        assert tokens[1].value == 0.025
+
+    def test_integer_followed_by_dotdot_is_not_float(self):
+        assert kinds("0..7") == [
+            TokenKind.INT_LIT,
+            TokenKind.DOTDOT,
+            TokenKind.INT_LIT,
+            TokenKind.EOF,
+        ]
+
+    def test_zero(self):
+        tokens, _ = lex("0")
+        assert tokens[0].value == 0
+
+
+class TestOperators:
+    def test_assign_vs_colon(self):
+        assert kinds(": :=") == [
+            TokenKind.COLON,
+            TokenKind.ASSIGN,
+            TokenKind.EOF,
+        ]
+
+    def test_comparison_operators(self):
+        assert kinds("= <> < <= > >=") == [
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+            TokenKind.EOF,
+        ]
+
+    def test_arithmetic(self):
+        assert kinds("+ - * / %") == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.PERCENT,
+            TokenKind.EOF,
+        ]
+
+    def test_brackets(self):
+        assert kinds("( ) [ ]") == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.EOF,
+        ]
+
+
+class TestCommentsAndErrors:
+    def test_comment_to_end_of_line(self):
+        assert kinds("a -- comment here\nb") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_comment_at_eof_without_newline(self):
+        assert kinds("a -- trailing") == [TokenKind.IDENT, TokenKind.EOF]
+
+    def test_double_minus_is_comment_not_two_minuses(self):
+        assert kinds("1 --x\n- 2") == [
+            TokenKind.INT_LIT,
+            TokenKind.MINUS,
+            TokenKind.INT_LIT,
+            TokenKind.EOF,
+        ]
+
+    def test_unknown_character_reports_error(self):
+        tokens, sink = lex("a @ b")
+        assert sink.has_errors
+        assert "unexpected character" in sink.render()
+        # Lexing continues past the bad character.
+        assert [t.kind for t in tokens] == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+
+class TestSpans:
+    def test_token_positions(self):
+        tokens, _ = lex("ab\ncd")
+        assert tokens[0].span.start.line == 1
+        assert tokens[0].span.start.column == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.start.column == 1
+
+    def test_span_covers_token_text(self):
+        tokens, _ = lex("  hello  ")
+        span = tokens[0].span
+        assert span.end.offset - span.start.offset == len("hello")

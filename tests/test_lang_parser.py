@@ -1,0 +1,256 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.parser import parse_text
+from repro.lang.types import ArrayType, FLOAT, INT, VOID
+
+from helpers import wrap_function
+
+
+def parse(source: str):
+    sink = DiagnosticSink()
+    module = parse_text(source, sink)
+    return module, sink
+
+
+def parse_clean(source: str) -> ast.Module:
+    module, sink = parse(source)
+    assert not sink.has_errors, sink.render()
+    return module
+
+
+MINIMAL = """
+module m
+section s (cells 0..1)
+  function f() begin end
+end
+end
+"""
+
+
+class TestStructure:
+    def test_minimal_module(self):
+        module = parse_clean(MINIMAL)
+        assert module.name == "m"
+        assert len(module.sections) == 1
+        section = module.sections[0]
+        assert section.name == "s"
+        assert (section.first_cell, section.last_cell) == (0, 1)
+        assert section.cell_count == 2
+        assert [f.name for f in section.functions] == ["f"]
+
+    def test_multiple_sections_and_functions(self):
+        module = parse_clean(
+            "module m\n"
+            "section a (cells 0..0) function f() begin end "
+            "function g() begin end end\n"
+            "section b (cells 1..3) function h() begin end end\n"
+            "end\n"
+        )
+        assert [s.name for s in module.sections] == ["a", "b"]
+        assert module.function_count() == 3
+        assert module.section_named("b").cell_count == 3
+
+    def test_function_signature(self):
+        module = parse_clean(
+            wrap_function(
+                "function f(x: float, n: int) : float begin return x; end"
+            )
+        )
+        fn = module.sections[0].functions[0]
+        assert [p.name for p in fn.params] == ["x", "n"]
+        assert fn.params[0].type == FLOAT
+        assert fn.params[1].type == INT
+        assert fn.return_type == FLOAT
+
+    def test_void_function(self):
+        module = parse_clean(wrap_function("function f() begin end"))
+        assert module.sections[0].functions[0].return_type == VOID
+
+    def test_var_declarations(self):
+        module = parse_clean(
+            wrap_function(
+                "function f()\n"
+                "var a, b: int; c: array[10] of float;\n"
+                "begin end"
+            )
+        )
+        decls = module.sections[0].functions[0].locals
+        assert [d.name for d in decls] == ["a", "b", "c"]
+        assert decls[0].type == INT
+        assert decls[2].type == ArrayType(FLOAT, 10)
+
+    def test_line_count_matches_span(self):
+        module = parse_clean(MINIMAL)
+        fn = module.sections[0].functions[0]
+        assert fn.line_count() == 1  # single-line function
+
+
+class TestStatements:
+    def _body(self, stmts: str):
+        module = parse_clean(
+            wrap_function(f"function f()\nvar i: int; x: float;\nbegin\n{stmts}\nend")
+        )
+        return module.sections[0].functions[0].body
+
+    def test_assignment(self):
+        body = self._body("i := 3;")
+        assert isinstance(body[0], ast.AssignStmt)
+        assert isinstance(body[0].target, ast.VarRef)
+        assert isinstance(body[0].value, ast.IntLiteral)
+
+    def test_array_assignment(self):
+        module = parse_clean(
+            wrap_function(
+                "function f()\nvar a: array[4] of int;\nbegin a[2] := 1; end"
+            )
+        )
+        stmt = module.sections[0].functions[0].body[0]
+        assert isinstance(stmt.target, ast.IndexExpr)
+
+    def test_if_then_else(self):
+        body = self._body("if i < 3 then i := 1; else i := 2; end;")
+        stmt = body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        stmt = self._body("if i = 0 then i := 1; end;")[0]
+        assert stmt.else_body == []
+
+    def test_for_loop_defaults(self):
+        stmt = self._body("for i := 0 to 9 do i := i; end;")[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.var == "i"
+        assert stmt.step is None
+
+    def test_for_loop_with_step(self):
+        stmt = self._body("for i := 10 to 0 by -2 do x := x; end;")[0]
+        assert stmt.step is not None
+
+    def test_while_loop(self):
+        stmt = self._body("while i < 10 do i := i + 1; end;")[0]
+        assert isinstance(stmt, ast.WhileStmt)
+        assert len(stmt.body) == 1
+
+    def test_return_with_and_without_value(self):
+        assert self._body("return;")[0].value is None
+        assert self._body("return 4;")[0].value is not None
+
+    def test_send_receive(self):
+        body = self._body("send(x); receive(x);")
+        assert isinstance(body[0], ast.SendStmt)
+        assert isinstance(body[1], ast.ReceiveStmt)
+
+    def test_call_statement(self):
+        module = parse_clean(
+            wrap_function(
+                "function g() begin end\n"
+                "function f() begin g(); end"
+            )
+        )
+        stmt = module.sections[0].functions[1].body[0]
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.call.callee == "g"
+
+
+class TestExpressions:
+    def _expr(self, text: str) -> ast.Expr:
+        module = parse_clean(
+            wrap_function(
+                f"function f()\nvar i, j: int; x: float; "
+                f"a: array[8] of int;\nbegin i := {text}; end"
+            )
+        )
+        return module.sections[0].functions[0].body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self._expr("1 - 2 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_below_and(self):
+        expr = self._expr("i < 2 and j > 1")
+        assert expr.op == "and"
+        assert expr.left.op == "<"
+        assert expr.right.op == ">"
+
+    def test_or_lowest(self):
+        expr = self._expr("i and j or j")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+
+    def test_not_unary(self):
+        expr = self._expr("not i")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == "not"
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        expr = self._expr("-i * j")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.UnaryExpr)
+
+    def test_indexing(self):
+        expr = self._expr("a[i + 1]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert expr.index.op == "+"
+
+    def test_nested_call_args(self):
+        module = parse_clean(
+            wrap_function(
+                "function g(n: int) : int begin return n; end\n"
+                "function f()\nvar i: int;\nbegin i := g(g(i) + 1); end"
+            )
+        )
+        expr = module.sections[0].functions[1].body[0].value
+        assert isinstance(expr, ast.CallExpr)
+        assert isinstance(expr.args[0].left, ast.CallExpr)
+
+
+class TestParseErrors:
+    def test_missing_semicolon_reports_error(self):
+        _, sink = parse(wrap_function("function f()\nvar i: int;\nbegin i := 1 end"))
+        assert sink.has_errors
+
+    def test_recovers_and_reports_multiple_errors(self):
+        _, sink = parse(
+            wrap_function(
+                "function f()\nvar i: int;\nbegin i := ; i = 2; end"
+            )
+        )
+        assert sink.error_count >= 2
+
+    def test_bad_section_header(self):
+        _, sink = parse("module m\nsection s (cell 0..1)\nend\nend")
+        assert sink.has_errors
+
+    def test_trailing_garbage(self):
+        _, sink = parse(MINIMAL + "\nextra")
+        assert sink.has_errors
+
+    def test_multidimensional_array_rejected(self):
+        _, sink = parse(
+            wrap_function(
+                "function f()\nvar a: array[2] of array[2] of int;\nbegin end"
+            )
+        )
+        assert sink.has_errors
+
+    def test_error_mentions_position(self):
+        _, sink = parse("module m\nsection s (cells 0..0)\nfunction 42() begin end\nend\nend")
+        rendered = sink.render()
+        assert "3:" in rendered

@@ -1,0 +1,119 @@
+"""Machine model and object-format unit tests."""
+
+import pytest
+
+from repro.asmlink.objformat import Bundle, MachineOp, ObjectFunction, ScheduledBlock
+from repro.ir.instructions import Opcode
+from repro.ir.values import IR_FLOAT, IR_INT
+from repro.machine.resources import FUClass, OpSpec, PhysReg
+from repro.machine.warp_array import WarpArrayModel, default_array
+from repro.machine.warp_cell import WarpCellModel
+
+
+class TestOpSpec:
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OpSpec(FUClass.IALU, 0)
+
+    def test_physreg_str(self):
+        assert str(PhysReg("f", 7)) == "fr7"
+
+
+class TestWarpCellModel:
+    def test_typed_dispatch(self):
+        cell = WarpCellModel()
+        assert cell.spec_for(Opcode.ADD, IR_INT).fu is FUClass.IALU
+        assert cell.spec_for(Opcode.ADD, IR_FLOAT).fu is FUClass.FALU
+        assert cell.spec_for(Opcode.MUL, IR_FLOAT).fu is FUClass.FMUL
+
+    def test_float_compare_special_case(self):
+        cell = WarpCellModel()
+        spec = cell.spec_for(Opcode.CLT, IR_INT, operand_type=IR_FLOAT)
+        assert spec.fu is FUClass.FALU
+        int_spec = cell.spec_for(Opcode.CLT, IR_INT, operand_type=IR_INT)
+        assert int_spec.fu is FUClass.IALU
+
+    def test_control_flow_falls_back_to_int(self):
+        cell = WarpCellModel()
+        assert cell.spec_for(Opcode.JMP, IR_FLOAT).fu is FUClass.SEQ
+
+    def test_unknown_combination_raises(self):
+        cell = WarpCellModel(specs={})
+        with pytest.raises(KeyError):
+            cell.spec_for(Opcode.ADD, IR_INT)
+
+    def test_register_banks(self):
+        cell = WarpCellModel(int_registers=32, float_registers=48)
+        assert cell.registers_in_bank("i") == 32
+        assert cell.registers_in_bank("f") == 48
+        with pytest.raises(ValueError):
+            cell.registers_in_bank("x")
+
+    def test_latencies_reflect_pipelining(self):
+        cell = WarpCellModel()
+        assert cell.spec_for(Opcode.ADD, IR_FLOAT).latency > cell.spec_for(
+            Opcode.ADD, IR_INT
+        ).latency
+        assert cell.spec_for(Opcode.DIV, IR_FLOAT).latency > cell.spec_for(
+            Opcode.MUL, IR_FLOAT
+        ).latency
+
+
+class TestWarpArrayModel:
+    def test_default_array_is_ten_cells(self):
+        assert default_array().cell_count == 10
+
+    def test_invalid_cell_count(self):
+        with pytest.raises(ValueError):
+            WarpArrayModel(cell_count=0)
+
+    def test_section_range_validation(self):
+        array = WarpArrayModel(cell_count=4)
+        array.validate_section_range(0, 3)
+        with pytest.raises(ValueError):
+            array.validate_section_range(2, 4)
+        with pytest.raises(ValueError):
+            array.validate_section_range(-1, 2)
+
+
+class TestBundle:
+    def _op(self, fu=FUClass.IALU):
+        return MachineOp(op=Opcode.ADD, fu=fu, latency=1)
+
+    def test_slot_collision_rejected(self):
+        bundle = Bundle()
+        bundle.add(self._op())
+        with pytest.raises(ValueError, match="occupied"):
+            bundle.add(self._op())
+
+    def test_different_slots_coexist(self):
+        bundle = Bundle()
+        bundle.add(self._op(FUClass.IALU))
+        bundle.add(self._op(FUClass.FALU))
+        assert len(bundle.all_ops()) == 2
+
+    def test_all_ops_in_fixed_slot_order(self):
+        bundle = Bundle()
+        bundle.add(self._op(FUClass.SEQ))
+        bundle.add(self._op(FUClass.IALU))
+        fus = [op.fu for op in bundle.all_ops()]
+        assert fus == [FUClass.IALU, FUClass.SEQ]
+
+    def test_empty_bundle_renders_nop(self):
+        assert str(Bundle()) == "{nop}"
+
+
+class TestObjectFunction:
+    def test_digest_text_stable(self):
+        block = ScheduledBlock("entry", [Bundle()])
+        block.bundles[0].add(
+            MachineOp(op=Opcode.RET, fu=FUClass.SEQ, latency=1)
+        )
+        obj = ObjectFunction(name="f", section_name="s", blocks=[block])
+        assert obj.digest_text() == obj.digest_text()
+        assert "entry:" in obj.digest_text()
+
+    def test_bundle_count(self):
+        block = ScheduledBlock("entry", [Bundle(), Bundle()])
+        obj = ObjectFunction(name="f", section_name="s", blocks=[block])
+        assert obj.bundle_count() == 2

@@ -1,0 +1,159 @@
+"""Workload generators and measurement machinery."""
+
+import pytest
+
+from repro.driver.sequential import SequentialCompiler
+from repro.cluster.cluster import TimingReport
+from repro.metrics.overhead import compute_overhead
+from repro.metrics.series import Figure
+from repro.metrics.speedup import Speedup, efficiency, speedup_of
+from repro.workloads.kernels import synthetic_function
+from repro.workloads.sizes import SIZE_CLASSES, lines_for
+from repro.workloads.synthetic import synthetic_program
+from repro.workloads.user_program import user_program, user_program_function_count
+
+from helpers import parse_ok
+
+
+class TestKernelGenerator:
+    @pytest.mark.parametrize("size,target", sorted(SIZE_CLASSES.items()))
+    def test_sizes_near_target(self, size, target):
+        source = synthetic_program(size, 1)
+        result = SequentialCompiler().compile(source)
+        lines = result.profile.functions[0].source_lines
+        assert abs(lines - target) <= max(3, target // 10)
+
+    def test_generator_deterministic(self):
+        assert synthetic_function("f", 100) == synthetic_function("f", 100)
+
+    def test_generated_function_compiles_clean(self):
+        for lines in (4, 20, 60, 150):
+            src = (
+                f"module m\nsection s (cells 0..0)\n"
+                f"{synthetic_function('f', lines)}\nend\nend"
+            )
+            parse_ok(src)
+
+    def test_work_grows_with_size(self):
+        compiler = SequentialCompiler()
+        works = []
+        for size in ("tiny", "small", "medium", "large", "huge"):
+            result = compiler.compile(synthetic_program(size, 1))
+            works.append(result.profile.functions[0].work_units)
+        assert works == sorted(works)
+        assert works[0] < works[-1] / 100  # strongly size-dependent
+
+    def test_equal_functions_have_equal_work(self):
+        """§4.1: 'it is desirable that the parallel tasks be of equal
+        size'."""
+        result = SequentialCompiler().compile(synthetic_program("small", 4))
+        works = {f.work_units for f in result.profile.functions}
+        assert len(works) == 1
+
+
+class TestSyntheticPrograms:
+    def test_function_count(self):
+        for n in (1, 2, 4, 8):
+            result = SequentialCompiler().compile(
+                synthetic_program("tiny", n)
+            )
+            assert len(result.profile.functions) == n
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_program("tiny", 0)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(KeyError):
+            lines_for("gigantic")
+
+
+class TestUserProgram:
+    def test_nine_functions_three_sections(self):
+        module, _ = parse_ok(user_program())
+        assert len(module.sections) == 3
+        assert module.function_count() == 9
+        assert user_program_function_count() == 9
+
+    def test_mix_of_sizes(self):
+        """Three ~300-line functions, six in the 5-45 line range (§4.3)."""
+        result = SequentialCompiler().compile(user_program())
+        lines = sorted(f.source_lines for f in result.profile.functions)
+        assert sum(1 for l in lines if l >= 280) == 3
+        assert sum(1 for l in lines if l <= 50) == 6
+
+    def test_sections_claim_disjoint_cells(self):
+        module, _ = parse_ok(user_program())
+        claimed = set()
+        for section in module.sections:
+            for cell in range(section.first_cell, section.last_cell + 1):
+                assert cell not in claimed
+                claimed.add(cell)
+        assert claimed == set(range(9))
+
+
+def report(elapsed, impl=0.0):
+    r = TimingReport(elapsed=elapsed, cpu_busy={"home": elapsed})
+    r.master_cpu = impl
+    return r
+
+
+class TestSpeedupMetric:
+    def test_basic(self):
+        assert speedup_of(report(100.0), report(25.0)) == 4.0
+
+    def test_efficiency(self):
+        assert efficiency(report(100.0), report(25.0), 8) == 0.5
+
+    def test_zero_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            Speedup(10.0, 0.0).value
+
+
+class TestOverheadMetric:
+    def test_decomposition(self):
+        seq = report(800.0)
+        par = report(150.0, impl=20.0)
+        ovh = compute_overhead(seq, par, workers=8)
+        assert ovh.ideal_parallel == 100.0
+        assert ovh.total_overhead == 50.0
+        assert ovh.implementation_overhead == 20.0
+        assert ovh.system_overhead == 30.0
+        assert ovh.relative_total == pytest.approx(100 * 50 / 150)
+
+    def test_negative_system_overhead_possible(self):
+        """If the sequential compiler thrashed, ideal time is inflated
+        and system overhead goes negative (§4.2.3, Figure 9)."""
+        seq = report(2000.0)  # badly thrashing sequential run
+        par = report(220.0, impl=30.0)
+        ovh = compute_overhead(seq, par, workers=8)
+        assert ovh.system_overhead < 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            compute_overhead(report(1.0), report(1.0), 0)
+
+
+class TestFigureRendering:
+    def test_table_layout(self):
+        fig = Figure("Fig. X", "demo", "n", "seconds", xs=[1, 2])
+        s = fig.new_series("seq")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        text = fig.render()
+        assert "Fig. X" in text
+        assert "10.00" in text
+        assert "seq" in text
+
+    def test_missing_point_rendered_as_dash(self):
+        fig = Figure("F", "t", "n", "y", xs=[1, 2])
+        s = fig.new_series("a")
+        s.add(1, 5.0)
+        assert "-" in fig.render()
+
+    def test_series_lookup(self):
+        fig = Figure("F", "t", "n", "y", xs=[1])
+        fig.new_series("a")
+        assert fig.series_named("a").label == "a"
+        with pytest.raises(KeyError):
+            fig.series_named("b")
