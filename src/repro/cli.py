@@ -96,6 +96,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--processors", type=int, default=None,
         help="workstations (default: one per function)",
     )
+    bench_cmd.add_argument(
+        "--backend", choices=("sim", "serial", "pool", "warm"),
+        default="sim",
+        help="'sim' replays the 1988 cluster model; 'serial', 'pool' "
+        "(cold process pool) and 'warm' (persistent warm-worker farm) "
+        "measure real wall-clock on this machine",
+    )
+    bench_cmd.add_argument(
+        "--repeat", type=int, default=2,
+        help="compilations per live backend (default 2; the second run "
+        "shows the warm farm's amortization)",
+    )
     return parser
 
 
@@ -197,6 +209,8 @@ def _cmd_run(args) -> int:
 
 def _cmd_bench(args) -> int:
     source = synthetic_program(args.size, args.functions)
+    if args.backend != "sim":
+        return _cmd_bench_live(args, source)
     result = SequentialCompiler().compile(source)
     sim = ClusterSimulation()
     sequential = sim.run_sequential(result.profile)
@@ -220,6 +234,58 @@ def _cmd_bench(args) -> int:
     print(f"system overhead:    {overhead.relative_system:9.1f}%")
     print(f"implementation:     {overhead.relative_implementation:9.1f}%")
     return 0
+
+
+def _cmd_bench_live(args, source: str) -> int:
+    """Real wall-clock bench of the execution backends on this host."""
+    import time
+
+    from .parallel.warm_pool import WarmPoolBackend
+
+    if args.repeat < 1:
+        print("warpcc: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    if args.processors is not None and args.processors < 1:
+        print("warpcc: --processors must be at least 1", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    sequential = SequentialCompiler().compile(source)
+    sequential_wall = time.perf_counter() - start
+
+    if args.backend == "serial":
+        backend = SerialBackend()
+    elif args.backend == "pool":
+        backend = ProcessPoolBackend(max_workers=args.processors)
+    else:
+        backend = WarmPoolBackend(max_workers=args.processors)
+    compiler = ParallelCompiler(backend=backend)
+
+    walls = []
+    result = None
+    try:
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            result = compiler.compile(source)
+            walls.append(time.perf_counter() - start)
+    finally:
+        if hasattr(backend, "shutdown"):
+            backend.shutdown()
+
+    matches = result.digest == sequential.digest
+    print(f"workload: {args.functions} x f_{args.size} "
+          f"via {args.backend} backend "
+          f"({result.profile.workers_used} worker(s) used)")
+    print(f"sequential wall:    {sequential_wall:10.3f} s")
+    for round_no, wall in enumerate(walls, start=1):
+        print(f"parallel wall #{round_no}:  {wall:10.3f} s")
+    best = min(walls)
+    print(f"best speedup:       {sequential_wall / best:10.2f}x")
+    hits = result.profile.phase1_cache_hits()
+    print(f"phase-1 cache hits: {hits:10d} "
+          f"(saved {result.profile.redundant_parse_work_saved()} work units)")
+    print(f"download identical to sequential: {'yes' if matches else 'NO'}")
+    return 0 if matches else 1
 
 
 def _cmd_disasm(args) -> int:

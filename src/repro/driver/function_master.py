@@ -1,26 +1,33 @@
 """Function masters: the per-function worker processes.
 
 "The number of processes on the function level ... is equal to the total
-number of functions in the program.  Function masters are Common Lisp
+number of processes in the program.  Function masters are Common Lisp
 processes.  The task of a function master is to implement phases 2 and 3
 of the compiler" (§3.2).
 
 Our function masters are Python processes (or in-process calls for the
 serial backend).  Each worker receives a small, picklable
-:class:`FunctionTask`, re-derives phase-1 state from the source text (the
+:class:`FunctionTask` and compiles one function (or one section) to
+object code.  Phase-1 state is re-derived from the source text — the
 moral equivalent of a fresh Lisp process interpreting its initializing
-information), compiles exactly one function, and ships the object code
-back.
+information — but memoized per worker process: a warm worker that
+receives its second task for the same module skips parsing and semantic
+checking entirely (see :func:`phase1_cached`).  The cache is a bounded
+LRU keyed by ``(sha256(source text), filename)``, so two different
+modules that happen to share a filename can never collide.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..asmlink.objformat import ObjectFunction
 from ..machine.warp_array import WarpArrayModel
-from .phases import compile_one_function, phase1_parse_and_check
+from .phases import ParsedProgram, compile_one_function, phase1_parse_and_check
 from .results import FunctionReport
 
 
@@ -41,6 +48,9 @@ class FunctionTask:
     function_name: Optional[str] = None
     opt_level: int = 2
     cell_count: int = 10
+    #: pre-compilation cost estimate (§4.3 lines + loop nesting), filled
+    #: in by the master from the parse; drives size-aware batching.
+    cost_hint: float = 1.0
 
 
 @dataclass
@@ -54,13 +64,90 @@ class FunctionTaskResult:
     diagnostics: List[str] = field(default_factory=list)
 
 
+# ---------------------------------------------------------------------------
+# Per-worker phase-1 cache.
+#
+# Module-level so it lives exactly as long as the worker process: a cold
+# worker misses once per module, then every further task for the same
+# module is parse-free.  With a fork start method (Linux default) workers
+# even inherit the master's parse, so their first task hits too.
+# ---------------------------------------------------------------------------
+
+
+def _default_phase1_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get("WARPCC_PHASE1_CACHE", "8")))
+    except ValueError:  # pragma: no cover - defensive
+        return 8
+
+
+_phase1_cache: "OrderedDict[Tuple[str, str], ParsedProgram]" = OrderedDict()
+_phase1_capacity: int = _default_phase1_capacity()
+_phase1_hits: int = 0
+_phase1_misses: int = 0
+
+
+def configure_phase1_cache(capacity: int) -> None:
+    """Bound the per-worker cache to ``capacity`` modules (LRU eviction)."""
+    global _phase1_capacity
+    if capacity < 1:
+        raise ValueError(f"cache capacity must be positive, got {capacity}")
+    _phase1_capacity = capacity
+    while len(_phase1_cache) > _phase1_capacity:
+        _phase1_cache.popitem(last=False)
+
+
+def clear_phase1_cache() -> None:
+    """Drop all cached parses and reset the hit/miss counters."""
+    global _phase1_hits, _phase1_misses
+    _phase1_cache.clear()
+    _phase1_hits = 0
+    _phase1_misses = 0
+
+
+def phase1_cache_stats() -> Tuple[int, int]:
+    """(hits, misses) seen by this process since the last clear."""
+    return _phase1_hits, _phase1_misses
+
+
+def phase1_cached(
+    source_text: str, filename: str = "<input>"
+) -> Tuple[ParsedProgram, bool]:
+    """Phase 1 through the per-worker memo; returns ``(parsed, hit)``.
+
+    Only successful parses are cached — a module with errors raises
+    :class:`~repro.lang.diagnostics.CompileError` every time.
+    """
+    global _phase1_hits, _phase1_misses
+    key = (
+        hashlib.sha256(source_text.encode("utf-8")).hexdigest(),
+        filename,
+    )
+    cached = _phase1_cache.get(key)
+    if cached is not None:
+        _phase1_cache.move_to_end(key)
+        _phase1_hits += 1
+        return cached, True
+    parsed = phase1_parse_and_check(source_text, filename)
+    _phase1_misses += 1
+    _phase1_cache[key] = parsed
+    while len(_phase1_cache) > _phase1_capacity:
+        _phase1_cache.popitem(last=False)
+    return parsed, False
+
+
+def _record_cache_outcome(report: FunctionReport, hit: bool) -> None:
+    report.phase1_cache_hits = 1 if hit else 0
+    report.phase1_cache_misses = 0 if hit else 1
+
+
 def run_function_master(task: FunctionTask) -> FunctionTaskResult:
     """Entry point of one function master (picklable module-level fn)."""
     if task.function_name is None:
         raise ValueError(
             "section-level tasks must go through run_compile_task"
         )
-    parsed = phase1_parse_and_check(task.source_text, task.filename)
+    parsed, hit = phase1_cached(task.source_text, task.filename)
     array = WarpArrayModel(cell_count=task.cell_count)
     obj, report = compile_one_function(
         parsed,
@@ -69,6 +156,7 @@ def run_function_master(task: FunctionTask) -> FunctionTaskResult:
         array,
         task.opt_level,
     )
+    _record_cache_outcome(report, hit)
     return FunctionTaskResult(
         section_name=task.section_name,
         function_name=task.function_name,
@@ -83,27 +171,45 @@ def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
 
     A function-level task yields one result; a section-level task
     (``function_name is None``) compiles every function of its section in
-    source order within one worker process.
+    source order within one worker process.  The module's diagnostics are
+    rendered once per *task* and attached to the task's first result, so
+    the section master's recombined output carries each diagnostic once.
     """
     if task.function_name is not None:
         return [run_function_master(task)]
-    parsed = phase1_parse_and_check(task.source_text, task.filename)
+    parsed, hit = phase1_cached(task.source_text, task.filename)
     section = parsed.module.section_named(task.section_name)
     if section is None:
         raise KeyError(f"no section named {task.section_name!r}")
     array = WarpArrayModel(cell_count=task.cell_count)
+    rendered = [d.render() for d in parsed.sink.diagnostics]
     results: List[FunctionTaskResult] = []
-    for function in section.functions:
+    for position, function in enumerate(section.functions):
         obj, report = compile_one_function(
             parsed, task.section_name, function.name, array, task.opt_level
         )
+        if position == 0:
+            _record_cache_outcome(report, hit)
         results.append(
             FunctionTaskResult(
                 section_name=task.section_name,
                 function_name=function.name,
                 obj=obj,
                 report=report,
-                diagnostics=[d.render() for d in parsed.sink.diagnostics],
+                diagnostics=rendered if position == 0 else [],
             )
         )
+    return results
+
+
+def run_compile_batch(tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+    """Run a whole batch of tasks in one worker round-trip.
+
+    Backends submit size-aware batches through this entry point so tiny
+    functions (the paper's f_tiny pathology) share one IPC round-trip —
+    and, thanks to the phase-1 cache above, one parse.
+    """
+    results: List[FunctionTaskResult] = []
+    for task in tasks:
+        results.extend(run_compile_task(task))
     return results

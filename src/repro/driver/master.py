@@ -23,8 +23,9 @@ from ..asmlink.objformat import ObjectFunction
 from ..machine.warp_array import WarpArrayModel
 from ..parallel.backend import ExecutionBackend
 from ..parallel.local import SerialBackend
-from .function_master import FunctionTask, FunctionTaskResult
-from .phases import ParsedProgram, phase1_parse_and_check, phase4_link_and_download
+from ..parallel.schedule import ast_cost_hint
+from .function_master import FunctionTask, FunctionTaskResult, phase1_cached
+from .phases import ParsedProgram, phase4_link_and_download
 from .results import CompilationResult, WorkProfile
 from .section_master import CombinedSection, combine_section_results
 
@@ -56,8 +57,10 @@ class ParallelCompiler:
         self, source_text: str, filename: str = "<input>"
     ) -> CompilationResult:
         # Master: one extra parse of the whole program to determine the
-        # partitioning; syntax/semantic errors abort here.
-        parsed = phase1_parse_and_check(source_text, filename)
+        # partitioning; syntax/semantic errors abort here.  The parse
+        # goes through the phase-1 cache so in-process workers (and, with
+        # a fork start method, freshly forked pool workers) reuse it.
+        parsed, _ = phase1_cached(source_text, filename)
         tasks = self._build_tasks(parsed, source_text, filename)
         results = self.backend.run_tasks(tasks)
 
@@ -75,6 +78,10 @@ class ParallelCompiler:
             parse_work=parsed.parse_work,
             sema_work=parsed.sema_work,
             source_lines=parsed.source_lines,
+            workers_used=getattr(
+                self.backend, "effective_worker_count",
+                self.backend.worker_count,
+            ),
         )
         objects: Dict[str, List[ObjectFunction]] = {}
         diagnostics: List[str] = []
@@ -117,6 +124,9 @@ class ParallelCompiler:
                         function_name=None,
                         opt_level=self.opt_level,
                         cell_count=self.array.cell_count,
+                        cost_hint=sum(
+                            ast_cost_hint(fn) for fn in section.functions
+                        ),
                     )
                 )
                 continue
@@ -129,6 +139,7 @@ class ParallelCompiler:
                         function_name=function.name,
                         opt_level=self.opt_level,
                         cell_count=self.array.cell_count,
+                        cost_hint=ast_cost_hint(function),
                     )
                 )
         return tasks

@@ -30,6 +30,11 @@ class FunctionReport:
     pipelined_loops: int
     initiation_intervals: List[int] = field(default_factory=list)
     frame_words: int = 0
+    #: phase-1 cache telemetry: whether this report's task found its
+    #: module already parsed in the worker's cache (0/1 each; a
+    #: section-level task records on its first function's report only).
+    phase1_cache_hits: int = 0
+    phase1_cache_misses: int = 0
 
     @property
     def key(self) -> tuple:
@@ -48,9 +53,24 @@ class WorkProfile:
     download_words: int = 0
     #: total source lines (proxy for file-reading cost)
     source_lines: int = 0
+    #: workers that actually ran the function-master tasks (a backend
+    #: asked for more workers than tasks caps at the task count; speedup
+    #: metrics must divide by this, not the requested pool size)
+    workers_used: int = 1
 
     def function_work(self) -> int:
         return sum(f.work_units for f in self.functions)
+
+    def phase1_cache_hits(self) -> int:
+        """Tasks that skipped parse+sema thanks to a warm worker cache."""
+        return sum(f.phase1_cache_hits for f in self.functions)
+
+    def phase1_cache_misses(self) -> int:
+        return sum(f.phase1_cache_misses for f in self.functions)
+
+    def redundant_parse_work_saved(self) -> int:
+        """Parse+sema work units not re-done because of cache hits."""
+        return (self.parse_work + self.sema_work) * self.phase1_cache_hits()
 
     def total_work(self) -> int:
         return (

@@ -2,7 +2,18 @@
 
 from .copyprop import propagate_copies
 from .cse import eliminate_common_subexpressions
-from .dataflow import BlockFacts, solve_backward, solve_forward
+from .dataflow import (
+    BlockFacts,
+    facts_of,
+    mask_of,
+    solve_backward,
+    solve_backward_masks,
+    solve_backward_sets,
+    solve_forward,
+    solve_forward_masks,
+    solve_forward_sets,
+    unpack_solution,
+)
 from .dce import eliminate_dead_code
 from .dependence import (
     ANTI,
@@ -45,6 +56,7 @@ __all__ = [
     "classify_subscript",
     "eliminate_common_subexpressions",
     "eliminate_dead_code",
+    "facts_of",
     "find_induction_register",
     "fold_constants",
     "hoist_loop_invariants",
@@ -52,11 +64,17 @@ __all__ = [
     "inline_calls_in_module",
     "iterate_live_out",
     "live_variables",
+    "mask_of",
     "propagate_constants_globally",
     "propagate_copies",
     "reaching_definitions",
     "simplify_control_flow",
     "solve_backward",
+    "solve_backward_masks",
+    "solve_backward_sets",
     "solve_forward",
+    "solve_forward_masks",
+    "solve_forward_sets",
+    "unpack_solution",
     "unroll_constant_loops",
 ]

@@ -1,20 +1,35 @@
 """Generic iterative dataflow framework over basic blocks.
 
 Solves forward and backward set problems with gen/kill transfer functions
-using a worklist.  Sets are Python frozensets of hashable facts (virtual
-registers for liveness, (register, definition-site) pairs for reaching
-definitions).
+using a worklist.  Facts are numbered once per function and per-block
+sets are packed into Python ints used as bitsets: a union is ``|``, a
+difference is ``& ~``, and the convergence test is one int comparison —
+the inner loop moves a machine word at a time instead of hashing
+frozenset elements.  The public API is unchanged: callers still pass
+frozensets of hashable facts (virtual registers for liveness,
+(register, definition-site) pairs for reaching definitions) and receive
+a :class:`BlockFacts` of frozensets.
+
+Analyses that already number their own facts (liveness, reaching
+definitions) skip the packing step and call the mask kernels
+(:func:`solve_forward_masks` / :func:`solve_backward_masks`) directly.
+The original frozenset solvers are kept as :func:`solve_forward_sets` /
+:func:`solve_backward_sets` for differential testing and benchmarking.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, List
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Tuple
 
 from ..ir.cfg import FunctionIR
 
 Fact = Hashable
 FactSet = FrozenSet[Fact]
+
+#: entry/exit bitsets per block name, as returned by the mask kernels
+MaskFacts = Dict[str, int]
 
 
 @dataclass
@@ -25,6 +40,148 @@ class BlockFacts:
     exit: Dict[str, FactSet]
 
 
+def mask_of(facts: Iterable[Fact], index: Dict[Fact, int]) -> int:
+    """Pack ``facts`` into a bitset, assigning fresh bit indices on first
+    use — ``index`` is the (mutable) fact numbering shared by one solve."""
+    mask = 0
+    for fact in facts:
+        bit = index.get(fact)
+        if bit is None:
+            bit = index[fact] = len(index)
+        mask |= 1 << bit
+    return mask
+
+
+def facts_of(mask: int, universe: List[Fact]) -> FactSet:
+    """Unpack a bitset back to a frozenset; ``universe`` lists facts in
+    bit-index order (i.e. ``list(index)``).
+
+    Walks the mask a 64-bit word at a time so the per-bit arithmetic
+    happens on machine-word ints, not on the full arbitrary-precision
+    mask.
+    """
+    out = []
+    base = 0
+    while mask:
+        word = mask & 0xFFFFFFFFFFFFFFFF
+        while word:
+            low = word & -word
+            out.append(universe[base + low.bit_length() - 1])
+            word ^= low
+        mask >>= 64
+        base += 64
+    return frozenset(out)
+
+
+def solve_forward_masks(
+    function: FunctionIR,
+    gen: MaskFacts,
+    kill: MaskFacts,
+    boundary: int = 0,
+) -> Tuple[MaskFacts, MaskFacts]:
+    """Forward may-analysis over int bitsets (the hot kernel):
+    out = gen | (in & ~kill), in = OR of predecessors' out."""
+    preds = function.predecessors()
+    names = [b.name for b in function.blocks]
+    succs = {b.name: b.successors() for b in function.blocks}
+    entry: MaskFacts = {n: 0 for n in names}
+    exit_: MaskFacts = {n: 0 for n in names}
+    entry_name = function.entry.name
+    entry[entry_name] = boundary
+
+    worklist = deque(names)
+    queued = set(names)
+    while worklist:
+        name = worklist.popleft()
+        queued.discard(name)
+        if name != entry_name:
+            merged = 0
+            for pred in preds[name]:
+                merged |= exit_[pred]
+            entry[name] = merged
+        new_exit = gen[name] | (entry[name] & ~kill[name])
+        if new_exit != exit_[name]:
+            exit_[name] = new_exit
+            for succ in succs[name]:
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return entry, exit_
+
+
+def solve_backward_masks(
+    function: FunctionIR,
+    gen: MaskFacts,
+    kill: MaskFacts,
+    boundary: int = 0,
+) -> Tuple[MaskFacts, MaskFacts]:
+    """Backward may-analysis over int bitsets:
+    in = gen | (out & ~kill), out = OR of successors' in.
+
+    ``boundary`` seeds the out-set of every exit block (blocks with no
+    successors).
+    """
+    names = [b.name for b in function.blocks]
+    block_map = function.block_map()
+    preds = function.predecessors()
+    succs = {n: block_map[n].successors() for n in names}
+    entry: MaskFacts = {n: 0 for n in names}
+    exit_: MaskFacts = {n: 0 for n in names}
+    for name in names:
+        if not succs[name]:
+            exit_[name] = boundary
+
+    worklist = deque(reversed(names))
+    queued = set(names)
+    while worklist:
+        name = worklist.popleft()
+        queued.discard(name)
+        if succs[name]:
+            merged = 0
+            for succ in succs[name]:
+                merged |= entry[succ]
+            exit_[name] = merged
+        new_entry = gen[name] | (exit_[name] & ~kill[name])
+        if new_entry != entry[name]:
+            entry[name] = new_entry
+            for pred in preds[name]:
+                if pred not in queued:
+                    worklist.append(pred)
+                    queued.add(pred)
+    return entry, exit_
+
+
+def unpack_solution(
+    entry_m: MaskFacts, exit_m: MaskFacts, universe: List[Fact]
+) -> BlockFacts:
+    """Unpack a mask solution to :class:`BlockFacts`, memoizing by mask
+    value — adjacent blocks in straight-line code share entry/exit sets,
+    so most unpacks are dictionary hits."""
+    cache: Dict[int, FactSet] = {}
+
+    def unpack(mask: int) -> FactSet:
+        got = cache.get(mask)
+        if got is None:
+            got = cache[mask] = facts_of(mask, universe)
+        return got
+
+    return BlockFacts(
+        entry={n: unpack(m) for n, m in entry_m.items()},
+        exit={n: unpack(m) for n, m in exit_m.items()},
+    )
+
+
+def _solve_packed(function, gen, kill, boundary, kernel) -> BlockFacts:
+    """Number facts, run the mask kernel, unpack back to frozensets."""
+    index: Dict[Fact, int] = {}
+    names = [b.name for b in function.blocks]
+    gen_m = {n: mask_of(gen[n], index) for n in names}
+    kill_m = {n: mask_of(kill[n], index) for n in names}
+    boundary_m = mask_of(boundary, index)
+    entry_m, exit_m = kernel(function, gen_m, kill_m, boundary_m)
+    return unpack_solution(entry_m, exit_m, list(index))
+
+
 def solve_forward(
     function: FunctionIR,
     gen: Dict[str, FactSet],
@@ -32,6 +189,37 @@ def solve_forward(
     boundary: FactSet = frozenset(),
 ) -> BlockFacts:
     """Forward may-analysis: out = gen ∪ (in − kill), in = ∪ preds' out."""
+    return _solve_packed(function, gen, kill, boundary, solve_forward_masks)
+
+
+def solve_backward(
+    function: FunctionIR,
+    gen: Dict[str, FactSet],
+    kill: Dict[str, FactSet],
+    boundary: FactSet = frozenset(),
+) -> BlockFacts:
+    """Backward may-analysis: in = gen ∪ (out − kill), out = ∪ succs' in.
+
+    ``boundary`` seeds the out-set of every exit block (blocks with no
+    successors) — e.g. registers observable after return (none, normally).
+    """
+    return _solve_packed(function, gen, kill, boundary, solve_backward_masks)
+
+
+# ---------------------------------------------------------------------------
+# Reference frozenset solvers.  Kept verbatim for differential tests
+# (bitset solution == set solution on every CFG) and for the benchmark
+# that documents the bitset kernels' speedup; not used on the hot path.
+# ---------------------------------------------------------------------------
+
+
+def solve_forward_sets(
+    function: FunctionIR,
+    gen: Dict[str, FactSet],
+    kill: Dict[str, FactSet],
+    boundary: FactSet = frozenset(),
+) -> BlockFacts:
+    """Reference forward solver over frozensets (see module docstring)."""
     preds = function.predecessors()
     names = [b.name for b in function.blocks]
     entry: Dict[str, FactSet] = {n: frozenset() for n in names}
@@ -60,17 +248,13 @@ def solve_forward(
     return BlockFacts(entry=entry, exit=exit_)
 
 
-def solve_backward(
+def solve_backward_sets(
     function: FunctionIR,
     gen: Dict[str, FactSet],
     kill: Dict[str, FactSet],
     boundary: FactSet = frozenset(),
 ) -> BlockFacts:
-    """Backward may-analysis: in = gen ∪ (out − kill), out = ∪ succs' in.
-
-    ``boundary`` seeds the out-set of every exit block (blocks with no
-    successors) — e.g. registers observable after return (none, normally).
-    """
+    """Reference backward solver over frozensets (see module docstring)."""
     names = [b.name for b in function.blocks]
     block_map = function.block_map()
     preds = function.predecessors()

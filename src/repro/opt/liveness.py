@@ -12,7 +12,7 @@ from typing import Dict, FrozenSet, Iterator, List, Tuple
 from ..ir.cfg import BasicBlock, FunctionIR
 from ..ir.instructions import Instr
 from ..ir.values import VReg
-from .dataflow import BlockFacts, solve_backward
+from .dataflow import BlockFacts, solve_backward_masks, unpack_solution
 
 
 def block_use_def(block: BasicBlock) -> Tuple[FrozenSet[VReg], FrozenSet[VReg]]:
@@ -29,14 +29,42 @@ def block_use_def(block: BasicBlock) -> Tuple[FrozenSet[VReg], FrozenSet[VReg]]:
 
 
 def live_variables(function: FunctionIR) -> BlockFacts:
-    """Solve liveness; ``entry``/``exit`` give live-in/live-out per block."""
-    gen: Dict[str, FrozenSet[VReg]] = {}
-    kill: Dict[str, FrozenSet[VReg]] = {}
+    """Solve liveness; ``entry``/``exit`` give live-in/live-out per block.
+
+    Registers are numbered once for the whole function and the gen/kill
+    sets are built directly as bitsets, so neither the construction nor
+    the worklist solve allocates per-block frozensets.
+    """
+    index: Dict[VReg, int] = {}
+    gen: Dict[str, int] = {}
+    kill: Dict[str, int] = {}
     for block in function.blocks:
-        uses, defs = block_use_def(block)
-        gen[block.name] = uses
-        kill[block.name] = defs
-    return solve_backward(function, gen, kill)
+        # Collect use/def with small per-block sets first; only the final
+        # per-block conversion touches the (wide) bitset ints.
+        uses = set()
+        defs = set()
+        for instr in block.instructions:
+            for reg in instr.uses():
+                if reg not in defs:
+                    uses.add(reg)
+            if instr.dest is not None:
+                defs.add(instr.dest)
+        use_mask = 0
+        for reg in uses:
+            bit = index.get(reg)
+            if bit is None:
+                bit = index[reg] = len(index)
+            use_mask |= 1 << bit
+        def_mask = 0
+        for reg in defs:
+            bit = index.get(reg)
+            if bit is None:
+                bit = index[reg] = len(index)
+            def_mask |= 1 << bit
+        gen[block.name] = use_mask
+        kill[block.name] = def_mask
+    entry_m, exit_m = solve_backward_masks(function, gen, kill)
+    return unpack_solution(entry_m, exit_m, list(index))
 
 
 def iterate_live_out(

@@ -13,7 +13,7 @@ from typing import Dict, FrozenSet, List, Tuple
 
 from ..ir.cfg import FunctionIR
 from ..ir.values import VReg
-from .dataflow import BlockFacts, solve_forward
+from .dataflow import BlockFacts, solve_forward_masks, unpack_solution
 
 #: (block name, instruction index within block, defined register)
 Definition = Tuple[str, int, VReg]
@@ -34,41 +34,56 @@ class ReachingDefinitions:
 
 
 def reaching_definitions(function: FunctionIR) -> ReachingDefinitions:
-    all_defs: List[Definition] = []
-    defs_of_reg: Dict[VReg, List[Definition]] = {}
-    for block in function.blocks:
-        for index, instr in enumerate(block.instructions):
-            if instr.dest is not None:
-                definition = (block.name, index, instr.dest)
-                all_defs.append(definition)
-                defs_of_reg.setdefault(instr.dest, []).append(definition)
+    """Solve reaching definitions with definitions numbered once.
 
-    gen: Dict[str, FrozenSet[Definition]] = {}
-    kill: Dict[str, FrozenSet[Definition]] = {}
+    Each definition site gets one bit; gen/kill are built directly as
+    bitsets (a block kills every other definition of the registers it
+    writes, including the boundary/parameter definition).
+    """
+    all_defs: List[Definition] = []
+    index: Dict[Definition, int] = {}
+    local_last_of: Dict[str, Dict[VReg, Definition]] = {}
     for block in function.blocks:
         local_last: Dict[VReg, Definition] = {}
-        for index, instr in enumerate(block.instructions):
+        for position, instr in enumerate(block.instructions):
             if instr.dest is not None:
-                local_last[instr.dest] = (block.name, index, instr.dest)
-        gen[block.name] = frozenset(local_last.values())
-        killed = set()
-        for reg in local_last:
-            killed.update(
-                d for d in defs_of_reg[reg] if d[0] != block.name
-            )
-            killed.update(
-                d
-                for d in defs_of_reg[reg]
-                if d[0] == block.name and d != local_last[reg]
-            )
-            # The boundary (parameter) definition of this register dies too.
-            killed.add((function.entry.name, -1, reg))
-        kill[block.name] = frozenset(killed)
+                definition = (block.name, position, instr.dest)
+                all_defs.append(definition)
+                index[definition] = len(index)
+                local_last[instr.dest] = definition
+        local_last_of[block.name] = local_last
 
     # Parameters are definitions from 'outside'; model them as boundary
     # facts with index -1 in the entry block.
-    boundary = frozenset(
+    boundary_defs = [
         (function.entry.name, -1, reg) for reg in function.param_regs
+    ]
+    for definition in boundary_defs:
+        index[definition] = len(index)
+
+    #: every definition bit (boundary included) of each register
+    reg_mask: Dict[VReg, int] = {}
+    for definition, bit in index.items():
+        reg = definition[2]
+        reg_mask[reg] = reg_mask.get(reg, 0) | 1 << bit
+
+    gen: Dict[str, int] = {}
+    kill: Dict[str, int] = {}
+    boundary_mask = 0
+    for definition in boundary_defs:
+        boundary_mask |= 1 << index[definition]
+    for block in function.blocks:
+        gen_mask = 0
+        kill_mask = 0
+        for reg, definition in local_last_of[block.name].items():
+            bit = 1 << index[definition]
+            gen_mask |= bit
+            kill_mask |= reg_mask[reg] & ~bit
+        gen[block.name] = gen_mask
+        kill[block.name] = kill_mask
+
+    entry_m, exit_m = solve_forward_masks(
+        function, gen, kill, boundary=boundary_mask
     )
-    facts = solve_forward(function, gen, kill, boundary=boundary)
+    facts = unpack_solution(entry_m, exit_m, list(index))
     return ReachingDefinitions(facts=facts, all_definitions=all_defs)

@@ -16,12 +16,15 @@ from .parallel_make import (
 )
 from .schedule import (
     Assignment,
+    ast_cost_hint,
+    batch_tasks_by_cost,
     fcfs_assignment,
     grouped_lpt_assignment,
     lines_and_nesting_cost,
     one_function_per_processor,
     work_units_cost,
 )
+from .warm_pool import WarmPoolBackend
 
 __all__ = [
     "Assignment",
@@ -35,6 +38,9 @@ __all__ = [
     "MakeTarget",
     "ProcessPoolBackend",
     "SerialBackend",
+    "WarmPoolBackend",
+    "ast_cost_hint",
+    "batch_tasks_by_cost",
     "fcfs_assignment",
     "grouped_lpt_assignment",
     "lines_and_nesting_cost",

@@ -24,4 +24,12 @@ class ExecutionBackend(Protocol):
 
     @property
     def worker_count(self) -> int:
+        """Workers the backend was configured with."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def effective_worker_count(self) -> int:
+        """Workers that could actually run concurrently in the most
+        recent ``run_tasks`` call (a pool of 8 given 3 tasks used 3) —
+        the denominator speedup/efficiency metrics must divide by."""
         ...  # pragma: no cover - protocol

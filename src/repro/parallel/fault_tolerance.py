@@ -83,6 +83,12 @@ class FlakyBackend:
     def worker_count(self) -> int:
         return self.inner.worker_count
 
+    @property
+    def effective_worker_count(self) -> int:
+        return getattr(
+            self.inner, "effective_worker_count", self.inner.worker_count
+        )
+
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
         results, failures = self.run_tasks_partial(tasks)
         if failures:
@@ -134,6 +140,12 @@ class RetryingBackend:
     @property
     def worker_count(self) -> int:
         return self.inner.worker_count
+
+    @property
+    def effective_worker_count(self) -> int:
+        return getattr(
+            self.inner, "effective_worker_count", self.inner.worker_count
+        )
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
         pending = list(tasks)

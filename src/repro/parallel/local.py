@@ -4,6 +4,13 @@ The multiprocessing backend is the real thing: each function master is an
 OS process, compilation proceeds concurrently, and on a multi-core host
 the parallel compiler genuinely finishes sooner — the modern analogue of
 farming function masters out to idle workstations.
+
+Tasks are dispatched in size-aware batches (§4.3 cost estimates, see
+:func:`repro.parallel.schedule.batch_tasks_by_cost`) rather than one IPC
+round-trip per task, and both backends benefit from the per-worker
+phase-1 cache in :mod:`repro.driver.function_master`.  For a pool that
+stays warm *across* compilations, see
+:class:`repro.parallel.warm_pool.WarmPoolBackend`.
 """
 
 from __future__ import annotations
@@ -15,8 +22,10 @@ from typing import List, Optional
 from ..driver.function_master import (
     FunctionTask,
     FunctionTaskResult,
+    run_compile_batch,
     run_compile_task,
 )
+from .schedule import batch_tasks_by_cost
 
 
 class SerialBackend:
@@ -29,6 +38,10 @@ class SerialBackend:
     def worker_count(self) -> int:
         return self._worker_count
 
+    @property
+    def effective_worker_count(self) -> int:
+        return self._worker_count
+
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
         results: List[FunctionTaskResult] = []
         for task in tasks:
@@ -37,23 +50,55 @@ class SerialBackend:
 
 
 class ProcessPoolBackend:
-    """One OS process per concurrent function master."""
+    """One OS process per concurrent function master.
 
-    def __init__(self, max_workers: Optional[int] = None):
+    The executor is created per ``run_tasks`` call (cold start every
+    compilation, like the paper's fresh Lisp processes); tasks are
+    submitted as cost-balanced batches of ``batches_per_worker`` chunks
+    per worker so tiny functions share IPC round-trips.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        batches_per_worker: int = 4,
+    ):
         if max_workers is None:
             max_workers = max(1, (os.cpu_count() or 2) - 1)
         if max_workers < 1:
             raise ValueError(f"need at least one worker, got {max_workers}")
+        if batches_per_worker < 1:
+            raise ValueError(
+                f"need at least one batch per worker, got {batches_per_worker}"
+            )
         self._max_workers = max_workers
+        self._batches_per_worker = batches_per_worker
+        self._last_effective_workers: Optional[int] = None
 
     @property
     def worker_count(self) -> int:
         return self._max_workers
 
+    @property
+    def effective_worker_count(self) -> int:
+        """Workers the last ``run_tasks`` actually used.
+
+        ``max_workers`` silently caps at the task count; reporting the
+        capped value keeps speedup denominators honest."""
+        if self._last_effective_workers is None:
+            return self._max_workers
+        return self._last_effective_workers
+
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
         if not tasks:
             return []
         workers = min(self._max_workers, len(tasks))
+        self._last_effective_workers = workers
+        chunks = batch_tasks_by_cost(
+            [task.cost_hint for task in tasks],
+            workers * self._batches_per_worker,
+        )
+        batches = [[tasks[i] for i in chunk] for chunk in chunks]
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            batches = pool.map(run_compile_task, tasks)
-            return [result for batch in batches for result in batch]
+            batch_results = pool.map(run_compile_batch, batches)
+            return [result for batch in batch_results for result in batch]

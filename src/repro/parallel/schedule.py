@@ -15,9 +15,10 @@ reports to an :class:`Assignment`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Sequence
 
 from ..driver.results import FunctionReport
+from ..lang import ast_nodes as ast
 
 #: Estimates the relative compile cost of a function before compiling it.
 CostEstimator = Callable[[FunctionReport], float]
@@ -58,6 +59,50 @@ def work_units_cost(report: FunctionReport) -> float:
     """An oracle estimator (exact measured work); used in ablations to
     bound how much better a perfect estimator could do."""
     return float(report.work_units)
+
+
+def _ast_loop_weight(stmts: List[ast.Stmt], depth: int = 0) -> int:
+    """Statement count scaled by 4**nesting-depth, from the AST alone."""
+    total = 0
+    for stmt in stmts:
+        total += 4 ** depth
+        if isinstance(stmt, (ast.ForStmt, ast.WhileStmt)):
+            total += _ast_loop_weight(stmt.body, depth + 1)
+        elif isinstance(stmt, ast.IfStmt):
+            total += _ast_loop_weight(stmt.then_body, depth)
+            total += _ast_loop_weight(stmt.else_body, depth)
+    return total
+
+
+def ast_cost_hint(function: ast.Function) -> float:
+    """The §4.3 estimate computed *before* compilation.
+
+    The master has only the parse when it dispatches tasks — "since the
+    master process parses the program to determine the partitioning, this
+    information is readily available" — so this mirrors
+    :func:`lines_and_nesting_cost` using AST-level lines and nesting.
+    """
+    return function.line_count() + 0.05 * _ast_loop_weight(function.body)
+
+
+def batch_tasks_by_cost(
+    costs: Sequence[float], batches: int
+) -> List[List[int]]:
+    """Group task indices into at most ``batches`` cost-balanced chunks.
+
+    Reuses the §4.3 LPT grouping: heaviest estimate first onto the
+    lightest chunk, each chunk kept in source order, empty chunks
+    dropped.  Backends submit each chunk as one worker round-trip, so
+    tiny functions stop paying one IPC hop apiece.
+    """
+    if batches < 1:
+        raise ValueError(f"need at least one batch, got {batches}")
+    if not costs:
+        return []
+    assignment = grouped_lpt_assignment(
+        list(costs), batches, estimator=float
+    )
+    return [chunk for chunk in assignment.per_machine if chunk]
 
 
 def one_function_per_processor(reports: List[FunctionReport]) -> Assignment:

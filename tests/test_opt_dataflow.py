@@ -14,7 +14,15 @@ from repro.opt.dependence import (
     classify_subscript,
     find_induction_register,
 )
-from repro.opt.liveness import live_variables
+from repro.opt.dataflow import (
+    facts_of,
+    mask_of,
+    solve_backward,
+    solve_backward_sets,
+    solve_forward,
+    solve_forward_sets,
+)
+from repro.opt.liveness import block_use_def, live_variables
 from repro.opt.reaching import reaching_definitions
 
 from helpers import single_function_ir, wrap_function
@@ -64,6 +72,63 @@ class TestLiveness:
             if i.dest is not None
         }
         assert any(reg in live_in for reg in body_defs)
+
+
+DIAMOND_SRC = wrap_function(
+    "function f(n: int) : int\nvar t: int;\n"
+    "begin\n"
+    "if n > 0 then t := n * 2; else t := n - 1; end;\n"
+    "while t > 0 do t := t - 3; end;\n"
+    "return t;\nend"
+)
+
+
+class TestBitsetMatchesReferenceSets:
+    """The bitset kernels must agree exactly with the frozenset solvers
+    on every CFG (branches, loops, unreachable-free diamonds)."""
+
+    def _use_def(self, fn):
+        gen, kill = {}, {}
+        for block in fn.blocks:
+            gen[block.name], kill[block.name] = block_use_def(block)
+        return gen, kill
+
+    @pytest.mark.parametrize("src", [LOOP_SRC, DIAMOND_SRC])
+    def test_backward_equivalence(self, src):
+        fn = single_function_ir(src)
+        gen, kill = self._use_def(fn)
+        fast = solve_backward(fn, gen, kill)
+        slow = solve_backward_sets(fn, gen, kill)
+        assert fast.entry == slow.entry
+        assert fast.exit == slow.exit
+
+    @pytest.mark.parametrize("src", [LOOP_SRC, DIAMOND_SRC])
+    def test_forward_equivalence(self, src):
+        fn = single_function_ir(src)
+        gen, kill = self._use_def(fn)
+        boundary = frozenset(fn.param_regs)
+        fast = solve_forward(fn, gen, kill, boundary=boundary)
+        slow = solve_forward_sets(fn, gen, kill, boundary=boundary)
+        assert fast.entry == slow.entry
+        assert fast.exit == slow.exit
+
+    @pytest.mark.parametrize("src", [LOOP_SRC, DIAMOND_SRC])
+    def test_live_variables_equals_reference_pipeline(self, src):
+        fn = single_function_ir(src)
+        gen, kill = self._use_def(fn)
+        fast = live_variables(fn)
+        slow = solve_backward_sets(fn, gen, kill)
+        assert fast.entry == slow.entry
+        assert fast.exit == slow.exit
+
+    def test_mask_roundtrip(self):
+        index = {}
+        facts = ["a", "b", "c", "d"]
+        mask = mask_of(facts, index)
+        assert mask == 0b1111
+        assert facts_of(mask, list(index)) == frozenset(facts)
+        assert mask_of(["b", "e"], index) == 0b10010
+        assert facts_of(0, list(index)) == frozenset()
 
 
 class TestReachingDefinitions:

@@ -1,0 +1,154 @@
+"""The per-worker phase-1 cache: correctness, keying, and telemetry.
+
+A warm worker that receives its second task for the same module must
+skip parse + sema entirely — and produce byte-identical object code to a
+cold parse.  The cache is keyed by (sha256(source), filename), so two
+modules sharing a filename can never collide.
+"""
+
+import pytest
+
+from repro.driver.function_master import (
+    FunctionTask,
+    clear_phase1_cache,
+    configure_phase1_cache,
+    phase1_cache_stats,
+    phase1_cached,
+    run_compile_task,
+)
+from repro.driver.master import ParallelCompiler
+from repro.driver.section_master import combine_section_results
+from repro.driver.sequential import SequentialCompiler
+from repro.lang.diagnostics import CompileError
+from repro.parallel.local import SerialBackend
+
+from helpers import wrap_function
+
+SOURCE_A = """
+module cachemod
+section s (cells 0..0)
+  function f(x: float) : float begin return x + 1.0; end
+  function g(x: float) : float begin return x * 2.0; end
+end
+end
+"""
+
+#: same filename as SOURCE_A in the tests below, different content
+SOURCE_B = """
+module cachemod
+section s (cells 0..0)
+  function f(x: float) : float begin return x - 1.0; end
+end
+end
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_phase1_cache()
+    configure_phase1_cache(8)
+    yield
+    clear_phase1_cache()
+    configure_phase1_cache(8)
+
+
+class TestCacheSemantics:
+    def test_hit_returns_same_compiled_object_bytes(self):
+        task = FunctionTask(SOURCE_A, "<t>", "s", "f")
+        cold = run_compile_task(task)[0]
+        warm = run_compile_task(task)[0]
+        assert phase1_cache_stats() == (1, 1)
+        assert warm.obj.digest_text() == cold.obj.digest_text()
+
+    def test_hit_reuses_the_same_parse(self):
+        first, hit_first = phase1_cached(SOURCE_A, "<t>")
+        second, hit_second = phase1_cached(SOURCE_A, "<t>")
+        assert (hit_first, hit_second) == (False, True)
+        assert second is first
+
+    def test_keyed_by_content_not_filename(self):
+        run_compile_task(FunctionTask(SOURCE_A, "same.w", "s", "f"))
+        result = run_compile_task(FunctionTask(SOURCE_B, "same.w", "s", "f"))
+        hits, misses = phase1_cache_stats()
+        assert (hits, misses) == (0, 2)
+        # The second compile really used SOURCE_B's text (f subtracts).
+        assert "sub" in result[0].obj.digest_text()
+
+    def test_different_filename_is_a_different_key(self):
+        phase1_cached(SOURCE_A, "a.w")
+        _parsed, hit = phase1_cached(SOURCE_A, "b.w")
+        assert not hit
+
+    def test_errors_are_never_cached(self):
+        bad = wrap_function("function f() begin y := 1; end")
+        for _ in range(2):
+            with pytest.raises(CompileError):
+                phase1_cached(bad, "<t>")
+        assert phase1_cache_stats() == (0, 0)
+
+    def test_lru_eviction_is_bounded(self):
+        configure_phase1_cache(1)
+        phase1_cached(SOURCE_A, "<t>")
+        phase1_cached(SOURCE_B, "<t>")  # evicts A
+        _parsed, hit = phase1_cached(SOURCE_A, "<t>")
+        assert not hit
+        assert phase1_cache_stats() == (0, 3)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            configure_phase1_cache(0)
+
+
+class TestCacheTelemetry:
+    def test_counters_surface_in_function_report(self):
+        task = FunctionTask(SOURCE_A, "<t>", "s", "g")
+        cold = run_compile_task(task)[0]
+        warm = run_compile_task(task)[0]
+        assert cold.report.phase1_cache_misses == 1
+        assert cold.report.phase1_cache_hits == 0
+        assert warm.report.phase1_cache_hits == 1
+        assert warm.report.phase1_cache_misses == 0
+
+    def test_serial_backend_tasks_hit_the_masters_parse(self):
+        # The master's own parse seeds the cache, so every in-process
+        # function-master task is a hit.
+        result = ParallelCompiler(backend=SerialBackend()).compile(SOURCE_A)
+        assert result.profile.phase1_cache_hits() == 2
+        assert result.profile.phase1_cache_misses() == 0
+        assert result.profile.redundant_parse_work_saved() == (
+            2 * (result.profile.parse_work + result.profile.sema_work)
+        )
+
+    def test_section_task_records_on_first_report_only(self):
+        results = run_compile_task(FunctionTask(SOURCE_A, "<t>", "s", None))
+        assert [r.report.phase1_cache_misses for r in results] == [1, 0]
+
+
+class TestCachedOutputIdentity:
+    def test_serial_parallel_digest_identical_with_warm_cache(self):
+        sequential = SequentialCompiler().compile(SOURCE_A)
+        compiler = ParallelCompiler(backend=SerialBackend())
+        first = compiler.compile(SOURCE_A)
+        second = compiler.compile(SOURCE_A)  # fully cache-served
+        assert first.digest == sequential.digest
+        assert second.digest == sequential.digest
+        assert second.diagnostics_text == sequential.diagnostics_text
+
+
+class TestSectionDiagnosticsRenderedOnce:
+    def test_section_task_attaches_diagnostics_once(self):
+        parsed, _ = phase1_cached(SOURCE_A, "<d>")
+        parsed.sink.warning("synthetic warning for the dedup test")
+        results = run_compile_task(FunctionTask(SOURCE_A, "<d>", "s", None))
+        assert len(results) == 2
+        assert len(results[0].diagnostics) == 1
+        assert "synthetic warning" in results[0].diagnostics[0]
+        assert results[1].diagnostics == []
+
+    def test_recombined_section_has_no_duplicates(self):
+        parsed, _ = phase1_cached(SOURCE_A, "<d>")
+        parsed.sink.warning("synthetic warning for the dedup test")
+        section = parsed.module.section_named("s")
+        results = run_compile_task(FunctionTask(SOURCE_A, "<d>", "s", None))
+        combined = combine_section_results(section, results)
+        assert len(combined.diagnostics) == 1
