@@ -9,6 +9,7 @@ A full reimplementation of the Gross/Zobel/Zolg parallel Warp compiler:
 - :mod:`repro.warpsim` — functional simulator for the Warp array
 - :mod:`repro.driver` — sequential and parallel compiler drivers
 - :mod:`repro.parallel` — execution backends (serial, multiprocessing)
+- :mod:`repro.cache` — persistent function-level artifact cache
 - :mod:`repro.cluster` — discrete-event workstation-network simulator
 - :mod:`repro.workloads` — the paper's synthetic and user programs
 - :mod:`repro.metrics` — speedup and overhead accounting (§4)
@@ -26,7 +27,10 @@ from .warpsim import run_module
 
 __version__ = "1.0.0"
 
+from .cache import ArtifactCache  # noqa: E402 (needs __version__ for salts)
+
 __all__ = [
+    "ArtifactCache",
     "ClusterSimulation",
     "CostModel",
     "ParallelCompiler",

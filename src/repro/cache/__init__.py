@@ -1,0 +1,31 @@
+"""Persistent function-level artifact cache (incremental compilation).
+
+The paper's correctness argument — "function masters are pure: the same
+task always produces the same object code" — makes phase-2/3 results
+cacheable not just within a run (the warm farm's phase-1 LRU) but
+*across* runs.  This package keys each function's compiled artifact by a
+content fingerprint of everything that can influence phases 2 and 3
+(:mod:`repro.cache.fingerprint`) and stores the pickled result in an
+on-disk, concurrency-safe, size-bounded store
+(:mod:`repro.cache.store`).  The driver consults it before dispatching
+tasks to a backend, so editing one function of a module re-runs phases
+2-3 for exactly that function.
+"""
+
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    compiler_salt,
+    function_fingerprint,
+    module_fingerprints,
+)
+from .store import ArtifactCache, CacheStats, default_cache_dir
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CACHE_SCHEMA_VERSION",
+    "compiler_salt",
+    "default_cache_dir",
+    "function_fingerprint",
+    "module_fingerprints",
+]

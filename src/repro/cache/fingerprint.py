@@ -1,0 +1,194 @@
+"""Per-function compilation fingerprints.
+
+The unit of caching is one function's phase-2/3 output, so the
+fingerprint must cover *exactly* the inputs those phases read — no more
+(or an edit to one function would invalidate its neighbours), no less
+(or a stale artifact could be served).  Phases 2-3 of one function see:
+
+- the function's own checked AST (:func:`_feed_function` hashes a
+  normalized serialization that ignores absolute source positions, so
+  editing function A does not shift-invalidate every function below it;
+  the function's own *line count* is included because it lands in the
+  :class:`~repro.driver.results.FunctionReport`);
+- the *signatures* of every function in its section — lowering resolves
+  calls against them (``FunctionLowerer._callees``) — but not their
+  bodies: the compiler "performs only minimal inter-procedural
+  optimizations" (§3.1), which is the very fact that makes per-function
+  caching sound;
+- the section's identity and cell range, the optimization level, the
+  target array's cell count, and the task granularity;
+- a compiler-version salt, so upgrading the compiler never serves
+  artifacts produced by old code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..lang import ast_nodes as ast
+
+#: Bump whenever the artifact format or the meaning of a fingerprint
+#: changes; old entries become unreachable rather than wrong.
+CACHE_SCHEMA_VERSION = 1
+
+_SEP = b"\x1f"  # field separator: cannot appear in the encoded text
+
+
+def compiler_salt() -> str:
+    """Version salt mixed into every fingerprint."""
+    from .. import __version__
+
+    return f"{__version__}+schema{CACHE_SCHEMA_VERSION}"
+
+
+class _Hasher:
+    """Feeds length-unambiguous tokens into a sha256."""
+
+    def __init__(self) -> None:
+        self._h = hashlib.sha256()
+
+    def feed(self, *tokens: object) -> None:
+        for token in tokens:
+            self._h.update(str(token).encode("utf-8"))
+            self._h.update(_SEP)
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+
+def _feed_expr(h: _Hasher, expr: Optional[ast.Expr]) -> None:
+    if expr is None:
+        h.feed("none")
+        return
+    h.feed(type(expr).__name__)
+    if isinstance(expr, ast.IntLiteral):
+        h.feed(expr.value)
+    elif isinstance(expr, ast.FloatLiteral):
+        # repr() round-trips floats exactly; str() would too on py3 but
+        # repr makes the intent explicit.
+        h.feed(repr(expr.value))
+    elif isinstance(expr, ast.VarRef):
+        h.feed(expr.name)
+    elif isinstance(expr, ast.IndexExpr):
+        _feed_expr(h, expr.base)
+        _feed_expr(h, expr.index)
+    elif isinstance(expr, ast.UnaryExpr):
+        h.feed(expr.op)
+        _feed_expr(h, expr.operand)
+    elif isinstance(expr, ast.BinaryExpr):
+        h.feed(expr.op)
+        _feed_expr(h, expr.left)
+        _feed_expr(h, expr.right)
+    elif isinstance(expr, ast.CallExpr):
+        h.feed(expr.callee, len(expr.args))
+        for arg in expr.args:
+            _feed_expr(h, arg)
+    else:  # pragma: no cover - exhaustive over AST expressions
+        raise TypeError(f"unhandled expression {type(expr).__name__}")
+
+
+def _feed_stmt(h: _Hasher, stmt: ast.Stmt) -> None:
+    h.feed(type(stmt).__name__)
+    if isinstance(stmt, ast.AssignStmt):
+        _feed_expr(h, stmt.target)
+        _feed_expr(h, stmt.value)
+    elif isinstance(stmt, ast.IfStmt):
+        _feed_expr(h, stmt.condition)
+        _feed_body(h, stmt.then_body)
+        _feed_body(h, stmt.else_body)
+    elif isinstance(stmt, ast.ForStmt):
+        h.feed(stmt.var)
+        _feed_expr(h, stmt.low)
+        _feed_expr(h, stmt.high)
+        _feed_expr(h, stmt.step)
+        _feed_body(h, stmt.body)
+    elif isinstance(stmt, ast.WhileStmt):
+        _feed_expr(h, stmt.condition)
+        _feed_body(h, stmt.body)
+    elif isinstance(stmt, (ast.ReturnStmt, ast.SendStmt)):
+        _feed_expr(h, stmt.value)
+    elif isinstance(stmt, ast.ReceiveStmt):
+        _feed_expr(h, stmt.target)
+    elif isinstance(stmt, ast.CallStmt):
+        _feed_expr(h, stmt.call)
+    else:  # pragma: no cover - exhaustive over AST statements
+        raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+
+def _feed_body(h: _Hasher, stmts) -> None:
+    h.feed(len(stmts))
+    for stmt in stmts:
+        _feed_stmt(h, stmt)
+
+
+def _feed_signature(h: _Hasher, fn: ast.Function) -> None:
+    """Name, parameter types, return type: what callers' lowering sees."""
+    h.feed(fn.name, len(fn.params))
+    for param in fn.params:
+        h.feed(str(param.type))
+    h.feed(str(fn.return_type))
+
+
+def _feed_function(h: _Hasher, fn: ast.Function) -> None:
+    h.feed(fn.name, fn.line_count(), str(fn.return_type))
+    h.feed(len(fn.params))
+    for param in fn.params:
+        h.feed(param.name, str(param.type))
+    h.feed(len(fn.locals))
+    for decl in fn.locals:
+        h.feed(decl.name, str(decl.type))
+    _feed_body(h, fn.body)
+
+
+def function_fingerprint(
+    section: ast.Section,
+    function: ast.Function,
+    *,
+    opt_level: int,
+    cell_count: int,
+    granularity: str = "function",
+    salt: Optional[str] = None,
+) -> str:
+    """Content fingerprint for one function's phase-2/3 artifact."""
+    h = _Hasher()
+    h.feed(
+        salt if salt is not None else compiler_salt(),
+        opt_level,
+        cell_count,
+        granularity,
+        section.name,
+        section.first_cell,
+        section.last_cell,
+    )
+    # Sibling signatures, in source order (order is part of the section's
+    # identity; lowering's callee table is name-keyed but a reordering
+    # also reorders spans, which we deliberately do not hash).
+    h.feed(len(section.functions))
+    for sibling in section.functions:
+        _feed_signature(h, sibling)
+    _feed_function(h, function)
+    return h.hexdigest()
+
+
+def module_fingerprints(
+    module: ast.Module,
+    *,
+    opt_level: int,
+    cell_count: int,
+    granularity: str = "function",
+    salt: Optional[str] = None,
+) -> Dict[Tuple[str, str], str]:
+    """``(section name, function name) -> fingerprint`` for a module."""
+    fingerprints: Dict[Tuple[str, str], str] = {}
+    for section in module.sections:
+        for function in section.functions:
+            fingerprints[(section.name, function.name)] = function_fingerprint(
+                section,
+                function,
+                opt_level=opt_level,
+                cell_count=cell_count,
+                granularity=granularity,
+                salt=salt,
+            )
+    return fingerprints

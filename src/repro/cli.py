@@ -54,6 +54,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for --parallel (default: cores-1)",
     )
     compile_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-cache directory for --parallel "
+        "(default: $WARPCC_CACHE_DIR or ~/.cache/warpcc)",
+    )
+    compile_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent function-level artifact cache",
+    )
+    compile_cmd.add_argument(
         "--cells", type=int, default=10, help="cells in the target array"
     )
     compile_cmd.add_argument(
@@ -108,6 +117,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compilations per live backend (default 2; the second run "
         "shows the warm farm's amortization)",
     )
+    bench_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-cache directory for the live backends (default: "
+        "a fresh temporary directory, so round 1 is cold and round 2+ "
+        "are warm-cache by construction)",
+    )
+    bench_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent function-level artifact cache",
+    )
     return parser
 
 
@@ -118,9 +137,27 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _build_cache(args):
+    """The artifact cache selected by --cache-dir / --no-cache."""
+    if args.no_cache:
+        return None
+    from .cache import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
+def _cache_stats_line(cache) -> str:
+    stats = cache.stats
+    return (
+        f"artifact cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{cache.size_bytes()} bytes on disk"
+    )
+
+
 def _cmd_compile(args) -> int:
     source = _read_source(args.file)
     array = WarpArrayModel(cell_count=args.cells)
+    cache = _build_cache(args) if args.parallel else None
     try:
         if args.parallel:
             backend = (
@@ -129,7 +166,8 @@ def _cmd_compile(args) -> int:
                 else SerialBackend()
             )
             result = ParallelCompiler(
-                backend=backend, array=array, opt_level=args.opt_level
+                backend=backend, array=array, opt_level=args.opt_level,
+                cache=cache,
             ).compile(source, filename=args.file)
         else:
             result = SequentialCompiler(
@@ -160,6 +198,8 @@ def _cmd_compile(args) -> int:
             print(line)
         print(f"download module: {result.download.cells_used} cell(s), "
               f"{result.profile.download_words} words")
+        if cache is not None:
+            print(_cache_stats_line(cache))
     return 0
 
 
@@ -238,6 +278,8 @@ def _cmd_bench(args) -> int:
 
 def _cmd_bench_live(args, source: str) -> int:
     """Real wall-clock bench of the execution backends on this host."""
+    import contextlib
+    import tempfile
     import time
 
     from .parallel.warm_pool import WarmPoolBackend
@@ -259,33 +301,45 @@ def _cmd_bench_live(args, source: str) -> int:
         backend = ProcessPoolBackend(max_workers=args.processors)
     else:
         backend = WarmPoolBackend(max_workers=args.processors)
-    compiler = ParallelCompiler(backend=backend)
 
-    walls = []
-    result = None
-    try:
-        for _ in range(args.repeat):
-            start = time.perf_counter()
-            result = compiler.compile(source)
-            walls.append(time.perf_counter() - start)
-    finally:
-        if hasattr(backend, "shutdown"):
-            backend.shutdown()
+    with contextlib.ExitStack() as stack:
+        cache = None
+        if not args.no_cache:
+            from .cache import ArtifactCache
 
-    matches = result.digest == sequential.digest
-    print(f"workload: {args.functions} x f_{args.size} "
-          f"via {args.backend} backend "
-          f"({result.profile.workers_used} worker(s) used)")
-    print(f"sequential wall:    {sequential_wall:10.3f} s")
-    for round_no, wall in enumerate(walls, start=1):
-        print(f"parallel wall #{round_no}:  {wall:10.3f} s")
-    best = min(walls)
-    print(f"best speedup:       {sequential_wall / best:10.2f}x")
-    hits = result.profile.phase1_cache_hits()
-    print(f"phase-1 cache hits: {hits:10d} "
-          f"(saved {result.profile.redundant_parse_work_saved()} work units)")
-    print(f"download identical to sequential: {'yes' if matches else 'NO'}")
-    return 0 if matches else 1
+            cache_dir = args.cache_dir or stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="warpcc-bench-cache-")
+            )
+            cache = ArtifactCache(cache_dir)
+        compiler = ParallelCompiler(backend=backend, cache=cache)
+
+        walls = []
+        result = None
+        try:
+            for _ in range(args.repeat):
+                start = time.perf_counter()
+                result = compiler.compile(source)
+                walls.append(time.perf_counter() - start)
+        finally:
+            if hasattr(backend, "shutdown"):
+                backend.shutdown()
+
+        matches = result.digest == sequential.digest
+        print(f"workload: {args.functions} x f_{args.size} "
+              f"via {args.backend} backend "
+              f"({result.profile.workers_used} worker(s) used)")
+        print(f"sequential wall:    {sequential_wall:10.3f} s")
+        for round_no, wall in enumerate(walls, start=1):
+            print(f"parallel wall #{round_no}:  {wall:10.3f} s")
+        best = min(walls)
+        print(f"best speedup:       {sequential_wall / best:10.2f}x")
+        hits = result.profile.phase1_cache_hits()
+        print(f"phase-1 cache hits: {hits:10d} "
+              f"(saved {result.profile.redundant_parse_work_saved()} work units)")
+        if cache is not None:
+            print(_cache_stats_line(cache))
+        print(f"download identical to sequential: {'yes' if matches else 'NO'}")
+        return 0 if matches else 1
 
 
 def _cmd_disasm(args) -> int:

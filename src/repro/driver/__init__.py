@@ -17,6 +17,7 @@ from .results import CompilationResult, FunctionReport, WorkProfile
 from .section_master import (
     CombinedSection,
     SectionCombineError,
+    StreamingSectionCombiner,
     combine_section_results,
 )
 from .sequential import SequentialCompiler
@@ -31,6 +32,7 @@ __all__ = [
     "ParsedProgram",
     "SectionCombineError",
     "SequentialCompiler",
+    "StreamingSectionCombiner",
     "WorkProfile",
     "combine_section_results",
     "compile_one_function",

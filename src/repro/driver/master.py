@@ -8,26 +8,28 @@ program and therefore the total number of processes involved in one
 compilation" (§3.2).
 
 Our master: parses and checks once (aborting on errors), builds one
-:class:`FunctionTask` per function, hands them to an execution backend,
-lets section masters recombine per-section results in source order, and
-runs the sequential phase-4 tail.  The output is bit-identical to the
-sequential compiler's.
+:class:`FunctionTask` per function, consults the persistent artifact
+cache (functions whose fingerprints hit never cross the process
+boundary), streams the remaining tasks through an execution backend while
+section masters recombine results as they arrive, and runs the sequential
+phase-4 tail.  The output is bit-identical to the sequential compiler's.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
 
 from ..asmlink.download import module_digest, module_size_words
 from ..asmlink.objformat import ObjectFunction
 from ..machine.warp_array import WarpArrayModel
-from ..parallel.backend import ExecutionBackend
+from ..parallel.backend import ExecutionBackend, stream_task_results
 from ..parallel.local import SerialBackend
 from ..parallel.schedule import ast_cost_hint
 from .function_master import FunctionTask, FunctionTaskResult, phase1_cached
 from .phases import ParsedProgram, phase4_link_and_download
 from .results import CompilationResult, WorkProfile
-from .section_master import CombinedSection, combine_section_results
+from .section_master import StreamingSectionCombiner
 
 
 class ParallelCompiler:
@@ -39,6 +41,7 @@ class ParallelCompiler:
         array: Optional[WarpArrayModel] = None,
         opt_level: int = 2,
         granularity: str = "function",
+        cache=None,
     ):
         if granularity not in ("function", "section"):
             raise ValueError(
@@ -52,6 +55,9 @@ class ParallelCompiler:
         #: original plan, §3.1) — section granularity is coarser: one
         #: worker per section program.
         self.granularity = granularity
+        #: optional :class:`repro.cache.ArtifactCache`: phase-2/3 results
+        #: are served from / written back to it, keyed per function.
+        self.cache = cache
 
     def compile(
         self, source_text: str, filename: str = "<input>"
@@ -62,27 +68,43 @@ class ParallelCompiler:
         # a fork start method, freshly forked pool workers) reuse it.
         parsed, _ = phase1_cached(source_text, filename)
         tasks = self._build_tasks(parsed, source_text, filename)
-        results = self.backend.run_tasks(tasks)
 
-        # Section masters: recombine in source order.
-        by_section: Dict[str, List[FunctionTaskResult]] = {}
-        for result in results:
-            by_section.setdefault(result.section_name, []).append(result)
-        combined: Dict[str, CombinedSection] = {}
-        for section in parsed.module.sections:
-            combined[section.name] = combine_section_results(
-                section, by_section.get(section.name, [])
-            )
+        # Section masters combine incrementally: cache hits land first,
+        # backend results stream in behind them.
+        combiner = StreamingSectionCombiner(parsed.module.sections)
+        stats_before = (
+            self.cache.stats.copy() if self.cache is not None else None
+        )
+        misses, fingerprints = self._serve_from_cache(parsed, tasks, combiner)
+        dispatched = bool(misses)
+        for result in stream_task_results(self.backend, misses) if misses else ():
+            if self.cache is not None:
+                self._write_back(fingerprints, result)
+            combiner.add(result)
+        combined = combiner.finalize()
 
         profile = WorkProfile(
             parse_work=parsed.parse_work,
             sema_work=parsed.sema_work,
             source_lines=parsed.source_lines,
-            workers_used=getattr(
-                self.backend, "effective_worker_count",
-                self.backend.worker_count,
+            workers_used=(
+                getattr(
+                    self.backend, "effective_worker_count",
+                    self.backend.worker_count,
+                )
+                if dispatched
+                # Everything came out of the artifact cache: the master
+                # alone did the (trivial) work.
+                else 1
             ),
         )
+        if stats_before is not None:
+            profile.artifact_cache_evictions = (
+                self.cache.stats.evictions - stats_before.evictions
+            )
+            profile.artifact_cache_corrupt = (
+                self.cache.stats.corrupt - stats_before.corrupt
+            )
         objects: Dict[str, List[ObjectFunction]] = {}
         diagnostics: List[str] = []
         for section in parsed.module.sections:
@@ -109,6 +131,88 @@ class ParallelCompiler:
             profile=profile,
             objects=all_objects,
         )
+
+    # -- artifact cache -------------------------------------------------
+
+    def _serve_from_cache(
+        self,
+        parsed: ParsedProgram,
+        tasks: List[FunctionTask],
+        combiner: StreamingSectionCombiner,
+    ) -> Tuple[List[FunctionTask], Dict[Tuple[str, str], str]]:
+        """Feed cache hits straight into the combiner; return the tasks
+        that must go to the backend plus the fingerprint map for
+        write-back."""
+        if self.cache is None:
+            return tasks, {}
+        from ..cache.fingerprint import module_fingerprints
+
+        fingerprints = module_fingerprints(
+            parsed.module,
+            opt_level=self.opt_level,
+            cell_count=self.array.cell_count,
+            granularity=self.granularity,
+        )
+        rendered = [d.render() for d in parsed.sink.diagnostics]
+        misses: List[FunctionTask] = []
+        for task in tasks:
+            section = parsed.module.section_named(task.section_name)
+            if task.function_name is not None:
+                names = [task.function_name]
+            else:
+                # A section-level task is one unit of dispatch: it is
+                # served from cache only when *every* function hits.
+                names = [fn.name for fn in section.functions]
+            hits: List[FunctionTaskResult] = []
+            for name in names:
+                cached = self.cache.get(
+                    fingerprints[(task.section_name, name)]
+                )
+                if cached is None:
+                    break
+                hits.append(cached)
+            if len(hits) < len(names):
+                misses.append(task)
+                continue
+            for position, result in enumerate(hits):
+                # Reconstruct what a live function master would have
+                # sent: current diagnostics (once per task) and fresh
+                # telemetry — the cached run's counters do not apply.
+                result.diagnostics = list(rendered) if position == 0 else []
+                result.report.phase1_cache_hits = 0
+                result.report.phase1_cache_misses = 0
+                result.report.artifact_cache_hits = 1
+                result.report.artifact_cache_misses = 0
+                combiner.add(result)
+        return misses, fingerprints
+
+    def _write_back(
+        self,
+        fingerprints: Dict[Tuple[str, str], str],
+        result: FunctionTaskResult,
+    ) -> None:
+        """Persist one freshly compiled artifact and mark its report."""
+        fingerprint = fingerprints.get(
+            (result.section_name, result.function_name)
+        )
+        if fingerprint is not None:
+            # Strip per-run state before storing: diagnostics belong to
+            # the module that *reads* the cache, and telemetry counters
+            # are re-derived at hit time.
+            sanitized = replace(
+                result,
+                diagnostics=[],
+                report=replace(
+                    result.report,
+                    phase1_cache_hits=0,
+                    phase1_cache_misses=0,
+                    artifact_cache_hits=0,
+                    artifact_cache_misses=0,
+                ),
+            )
+            self.cache.put(fingerprint, sanitized)
+        result.report.artifact_cache_hits = 0
+        result.report.artifact_cache_misses = 1
 
     def _build_tasks(
         self, parsed: ParsedProgram, source_text: str, filename: str

@@ -35,6 +35,11 @@ class FunctionReport:
     #: section-level task records on its first function's report only).
     phase1_cache_hits: int = 0
     phase1_cache_misses: int = 0
+    #: artifact-cache telemetry: whether this function's phase-2/3 result
+    #: was served from the persistent cache (hit) or compiled and written
+    #: back (miss).  Both stay 0 when no artifact cache is configured.
+    artifact_cache_hits: int = 0
+    artifact_cache_misses: int = 0
 
     @property
     def key(self) -> tuple:
@@ -57,6 +62,11 @@ class WorkProfile:
     #: asked for more workers than tasks caps at the task count; speedup
     #: metrics must divide by this, not the requested pool size)
     workers_used: int = 1
+    #: artifact-cache maintenance events observed during this compile
+    #: (size-bound evictions and corrupt entries discarded); hit/miss
+    #: counts live on the per-function reports.
+    artifact_cache_evictions: int = 0
+    artifact_cache_corrupt: int = 0
 
     def function_work(self) -> int:
         return sum(f.work_units for f in self.functions)
@@ -71,6 +81,19 @@ class WorkProfile:
     def redundant_parse_work_saved(self) -> int:
         """Parse+sema work units not re-done because of cache hits."""
         return (self.parse_work + self.sema_work) * self.phase1_cache_hits()
+
+    def artifact_cache_hits(self) -> int:
+        """Functions whose phase-2/3 work came from the persistent cache."""
+        return sum(f.artifact_cache_hits for f in self.functions)
+
+    def artifact_cache_misses(self) -> int:
+        return sum(f.artifact_cache_misses for f in self.functions)
+
+    def cached_function_work(self) -> int:
+        """Phase-2/3 work units served from the artifact cache."""
+        return sum(
+            f.work_units for f in self.functions if f.artifact_cache_hits
+        )
 
     def total_work(self) -> int:
         return (

@@ -9,12 +9,18 @@ combine the diagnostic output" (§3.2).
 Function masters finish in arbitrary order; the section master restores
 *source order*, which is what makes the parallel compiler's output
 bit-identical to the sequential one.
+
+:class:`StreamingSectionCombiner` is the incremental form: results are
+fed in one at a time as they arrive (from the artifact cache or from a
+streaming backend), and each section is combined the moment its last
+function lands — a module that is mostly cache hits reaches phase 4
+without waiting on a global barrier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from ..asmlink.objformat import ObjectFunction
 from ..lang import ast_nodes as ast
@@ -75,3 +81,65 @@ def combine_section_results(
         combined.diagnostics.extend(result.diagnostics)
         combined.combine_work += result.obj.bundle_count() + 1
     return combined
+
+
+class StreamingSectionCombiner:
+    """Section masters that combine while function masters still run.
+
+    Feed every :class:`FunctionTaskResult` through :meth:`add`; a section
+    is combined (validated, source-ordered) eagerly when its result count
+    reaches its function count.  :meth:`finalize` combines whatever
+    remains and raises :class:`SectionCombineError` for sections with
+    missing, duplicate, or misdelivered results — the same checks the
+    barrier-style :func:`combine_section_results` performs.
+    """
+
+    def __init__(self, sections: Sequence[ast.Section]):
+        self._sections: Dict[str, ast.Section] = {}
+        self._pending: Dict[str, List[FunctionTaskResult]] = {}
+        self._combined: Dict[str, CombinedSection] = {}
+        for section in sections:
+            if section.name in self._sections:
+                raise SectionCombineError(
+                    f"duplicate section {section.name!r}"
+                )
+            self._sections[section.name] = section
+            self._pending[section.name] = []
+
+    def add(self, result: FunctionTaskResult) -> Optional[CombinedSection]:
+        """Accept one result; returns the combined section if this result
+        completed it, else None."""
+        section = self._sections.get(result.section_name)
+        if section is None:
+            raise SectionCombineError(
+                f"result for unknown section {result.section_name!r}"
+            )
+        if result.section_name in self._combined:
+            raise SectionCombineError(
+                f"late result for already-combined section "
+                f"{result.section_name!r}"
+            )
+        pending = self._pending[result.section_name]
+        pending.append(result)
+        if len(pending) < len(section.functions):
+            return None
+        # combine_section_results re-validates: duplicates masquerading
+        # as completeness (two results for one function) raise here.
+        combined = combine_section_results(section, pending)
+        self._combined[result.section_name] = combined
+        del self._pending[result.section_name][:]
+        return combined
+
+    @property
+    def sections_combined(self) -> int:
+        return len(self._combined)
+
+    def finalize(self) -> Dict[str, CombinedSection]:
+        """Combine any not-yet-complete sections (raising on missing
+        results) and return section name -> combined, for all sections."""
+        for name, section in self._sections.items():
+            if name not in self._combined:
+                self._combined[name] = combine_section_results(
+                    section, self._pending[name]
+                )
+        return self._combined

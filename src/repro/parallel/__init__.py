@@ -1,6 +1,6 @@
 """Parallel execution backends and scheduling strategies."""
 
-from .backend import ExecutionBackend
+from .backend import ExecutionBackend, stream_task_results
 from .fault_tolerance import (
     FlakyBackend,
     FunctionMasterFailure,
@@ -46,5 +46,6 @@ __all__ = [
     "lines_and_nesting_cost",
     "one_function_per_processor",
     "simulate_parallel_make",
+    "stream_task_results",
     "work_units_cost",
 ]

@@ -7,11 +7,19 @@ heavyweight processes; ours are local OS processes
 (:class:`repro.parallel.local.ProcessPoolBackend`), an in-process serial
 executor for tests, or the discrete-event cluster simulator for timing
 studies (:mod:`repro.cluster`).
+
+Backends come in two flavours: the original barrier API
+(:meth:`ExecutionBackend.run_tasks`, all results at once) and the
+streaming API (:meth:`ExecutionBackend.run_tasks_streaming`, results
+yielded as function masters finish).  The driver always consumes through
+:func:`stream_task_results`, which adapts barrier-only backends, so
+section masters can recombine results while slower functions are still
+compiling.
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol
+from typing import Iterable, Iterator, List, Protocol
 
 from ..driver.function_master import FunctionTask, FunctionTaskResult
 
@@ -20,6 +28,13 @@ class ExecutionBackend(Protocol):
     """Runs function-master tasks; order of results is unspecified."""
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        ...  # pragma: no cover - protocol
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        """Yield results as they complete (optional; see
+        :func:`stream_task_results` for the barrier fallback)."""
         ...  # pragma: no cover - protocol
 
     @property
@@ -33,3 +48,24 @@ class ExecutionBackend(Protocol):
         recent ``run_tasks`` call (a pool of 8 given 3 tasks used 3) —
         the denominator speedup/efficiency metrics must divide by."""
         ...  # pragma: no cover - protocol
+
+
+def stream_task_results(
+    backend, tasks: List[FunctionTask]
+) -> Iterator[FunctionTaskResult]:
+    """Stream results from any backend.
+
+    Uses the backend's ``run_tasks_streaming`` when it has one; otherwise
+    falls back to the barrier API and yields its results in order.  This
+    is the one place the driver touches a backend's task-running surface.
+    """
+    runner = getattr(backend, "run_tasks_streaming", None)
+    if runner is not None:
+        yield from runner(tasks)
+    else:
+        yield from backend.run_tasks(tasks)
+
+
+def drain(results: Iterable[FunctionTaskResult]) -> List[FunctionTaskResult]:
+    """Collect a result stream into a list (barrier on top of streaming)."""
+    return list(results)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..driver.function_master import FunctionTask, FunctionTaskResult
 from .backend import ExecutionBackend
@@ -128,6 +128,11 @@ class RetryingBackend:
     ``run_tasks_partial`` (like :class:`FlakyBackend`) report per-task
     failures in bulk; plain backends are driven one task at a time so a
     single crash cannot take down the whole batch.
+
+    The wrapper is transparent: besides forwarding
+    ``effective_worker_count`` and the streaming API, unknown attributes
+    (``is_warm``, ``dispatches``, ``shutdown``, ...) delegate to the
+    inner backend instead of being hidden by the wrapper.
     """
 
     def __init__(self, inner, max_attempts: int = 3):
@@ -136,6 +141,15 @@ class RetryingBackend:
         self.inner = inner
         self.max_attempts = max_attempts
         self.retries_performed = 0
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes RetryingBackend itself lacks.  The
+        # __dict__ lookup avoids recursing before __init__ ran (e.g.
+        # during unpickling).
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
 
     @property
     def worker_count(self) -> int:
@@ -148,8 +162,14 @@ class RetryingBackend:
         )
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        return list(self.run_tasks_streaming(tasks))
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        """Yield each task's result as soon as an attempt produces it;
+        failed tasks re-enter the pending set for the next round."""
         pending = list(tasks)
-        collected: List[FunctionTaskResult] = []
         last_failures: List[FunctionMasterFailure] = []
         for attempt in range(1, self.max_attempts + 1):
             if not pending:
@@ -157,12 +177,11 @@ class RetryingBackend:
             if attempt > 1:
                 self.retries_performed += len(pending)
             results, failures = self._attempt(pending)
-            collected.extend(results)
+            yield from results
             pending = [f.task for f in failures]
             last_failures = failures
         if pending:
             raise RetryBudgetExceeded(last_failures)
-        return collected
 
     def _attempt(self, tasks: List[FunctionTask]):
         if hasattr(self.inner, "run_tasks_partial"):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..driver.function_master import (
     FunctionTask,
@@ -43,10 +43,13 @@ class SerialBackend:
         return self._worker_count
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
-        results: List[FunctionTaskResult] = []
+        return list(self.run_tasks_streaming(tasks))
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
         for task in tasks:
-            results.extend(run_compile_task(task))
-        return results
+            yield from run_compile_task(task)
 
 
 class ProcessPoolBackend:
@@ -90,8 +93,14 @@ class ProcessPoolBackend:
         return self._last_effective_workers
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        return list(self.run_tasks_streaming(tasks))
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        """Yield results batch-by-batch as workers complete them."""
         if not tasks:
-            return []
+            return
         workers = min(self._max_workers, len(tasks))
         self._last_effective_workers = workers
         chunks = batch_tasks_by_cost(
@@ -100,5 +109,8 @@ class ProcessPoolBackend:
         )
         batches = [[tasks[i] for i in chunk] for chunk in chunks]
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            batch_results = pool.map(run_compile_batch, batches)
-            return [result for batch in batch_results for result in batch]
+            futures = [
+                pool.submit(run_compile_batch, batch) for batch in batches
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                yield from future.result()

@@ -49,12 +49,19 @@ class MakeScheduleEntry:
 class MakeResult:
     elapsed: float
     schedule: List[MakeScheduleEntry] = field(default_factory=list)
+    #: lazy target-name index over ``schedule`` (each target appears
+    #: exactly once); rebuilt if the schedule list changed size.
+    _by_target: Optional[Dict[str, MakeScheduleEntry]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def entry_for(self, target: str) -> MakeScheduleEntry:
-        for entry in self.schedule:
-            if entry.target == target:
-                return entry
-        raise KeyError(f"no schedule entry for {target!r}")
+        if self._by_target is None or len(self._by_target) != len(self.schedule):
+            self._by_target = {entry.target: entry for entry in self.schedule}
+        try:
+            return self._by_target[target]
+        except KeyError:
+            raise KeyError(f"no schedule entry for {target!r}") from None
 
 
 class MakeCycleError(Exception):

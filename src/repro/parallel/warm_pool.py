@@ -28,7 +28,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..driver.function_master import (
     FunctionTask,
@@ -81,30 +81,49 @@ class WarmPoolBackend:
         return self._last_effective_workers
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        return list(self.run_tasks_streaming(tasks))
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        """Yield results batch-by-batch as the farm completes them.
+
+        Crash recovery is batch-granular: after a ``BrokenProcessPool``
+        only batches whose results have not yet been yielded are rerun on
+        the fresh pool (function masters are pure, so a rerun is safe; a
+        yielded batch is never rerun, so the consumer sees no duplicates).
+        """
         if not tasks:
-            return []
+            return
         chunks = batch_tasks_by_cost(
             [task.cost_hint for task in tasks],
             min(len(tasks), self._max_workers * self._batches_per_worker),
         )
         batches = [[tasks[i] for i in chunk] for chunk in chunks]
         self._last_effective_workers = min(self._max_workers, len(batches))
+        pending = list(range(len(batches)))
         for attempt in range(self._crash_retries + 1):
             pool = self._ensure_pool()
+            completed: List[int] = []
             try:
-                futures = [
-                    pool.submit(run_compile_batch, batch) for batch in batches
-                ]
-                results: List[FunctionTaskResult] = []
-                for future in futures:
-                    results.extend(future.result())
+                # submit itself raises BrokenProcessPool when the pool
+                # died between calls (e.g. a worker crashed while idle).
+                futures = {
+                    pool.submit(run_compile_batch, batches[index]): index
+                    for index in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    results = future.result()
+                    completed.append(futures[future])
+                    yield from results
                 self.dispatches += 1
-                return results
+                return
             except BrokenProcessPool:
-                # A worker died mid-batch.  Function masters are pure, so
-                # rerunning the whole call on a fresh pool is safe.
+                # A worker died mid-batch.  Discard the broken pool and
+                # retry whatever had not completed.
                 self.crash_recoveries += 1
                 self._discard_pool()
+                pending = [i for i in pending if i not in completed]
                 if attempt == self._crash_retries:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover

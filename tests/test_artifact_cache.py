@@ -1,0 +1,256 @@
+"""The persistent function-level artifact cache (incremental compilation).
+
+The load-bearing property is the differential one: compile a module
+cold, mutate exactly one function, recompile warm — the download digest
+must be bit-identical to a from-scratch compile of the mutated source,
+and exactly one function may pay phase-2/3 work (one cache miss).
+"""
+
+import pickle
+
+import pytest
+
+from repro.cache import ArtifactCache, function_fingerprint, module_fingerprints
+from repro.cache.store import default_cache_dir
+from repro.driver.master import ParallelCompiler
+from repro.driver.sequential import SequentialCompiler
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.parser import parse_text
+from repro.parallel.local import SerialBackend
+
+SOURCE = """
+module incr
+section a (cells 0..0)
+  function a1(x: float) : float begin return x + 1.0; end
+  function a2(x: float) : float begin return x * 2.0; end
+end
+section b (cells 1..1)
+  function b1(x: float) : float begin return x - 3.0; end
+  function b2(x: float) : float begin return x / 4.0; end
+end
+end
+"""
+
+#: Same module with one function body edited (an extra statement, so its
+#: normalized AST — not just a literal — changes).
+MUTATED = SOURCE.replace(
+    "function a2(x: float) : float begin return x * 2.0; end",
+    "function a2(x: float) : float begin x := x + 1.0; return x * 2.0; end",
+)
+
+
+def parse(source):
+    sink = DiagnosticSink()
+    module = parse_text(source, sink)
+    assert not sink.has_errors
+    return module
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+def cached_compiler(cache, **kwargs):
+    return ParallelCompiler(backend=SerialBackend(), cache=cache, **kwargs)
+
+
+class TestFingerprint:
+    def test_editing_one_function_changes_only_its_fingerprint(self):
+        before = module_fingerprints(parse(SOURCE), opt_level=2, cell_count=10)
+        after = module_fingerprints(parse(MUTATED), opt_level=2, cell_count=10)
+        changed = [key for key in before if before[key] != after[key]]
+        assert changed == [("a", "a2")]
+
+    def test_whitespace_only_shifts_do_not_invalidate_siblings(self):
+        # A blank line above section b shifts every later span; the
+        # normalized digest must not notice (function line *counts* are
+        # unchanged).
+        shifted = SOURCE.replace(
+            "section b", "\nsection b"
+        )
+        before = module_fingerprints(parse(SOURCE), opt_level=2, cell_count=10)
+        after = module_fingerprints(parse(shifted), opt_level=2, cell_count=10)
+        assert before == after
+
+    def test_opt_level_cells_and_granularity_are_part_of_the_key(self):
+        module = parse(SOURCE)
+        section = module.sections[0]
+        fn = section.functions[0]
+        base = function_fingerprint(section, fn, opt_level=2, cell_count=10)
+        assert function_fingerprint(
+            section, fn, opt_level=1, cell_count=10
+        ) != base
+        assert function_fingerprint(
+            section, fn, opt_level=2, cell_count=4
+        ) != base
+        assert function_fingerprint(
+            section, fn, opt_level=2, cell_count=10, granularity="section"
+        ) != base
+        assert function_fingerprint(
+            section, fn, opt_level=2, cell_count=10, salt="other-compiler"
+        ) != base
+
+    def test_sibling_signature_change_invalidates_the_section(self):
+        # Lowering resolves calls against sibling signatures, so changing
+        # a1's return type must invalidate a2 as well.
+        retyped = SOURCE.replace(
+            "function a1(x: float) : float begin return x + 1.0; end",
+            "function a1(x: float) : int begin return 1; end",
+        )
+        before = module_fingerprints(parse(SOURCE), opt_level=2, cell_count=10)
+        after = module_fingerprints(parse(retyped), opt_level=2, cell_count=10)
+        assert before[("a", "a2")] != after[("a", "a2")]
+        # ...but the other section is untouched.
+        assert before[("b", "b1")] == after[("b", "b1")]
+        assert before[("b", "b2")] == after[("b", "b2")]
+
+
+class TestDifferential:
+    def test_one_function_edit_pays_for_exactly_one_function(self, cache):
+        compiler = cached_compiler(cache)
+        cold = compiler.compile(SOURCE)
+        assert cold.profile.artifact_cache_misses() == 4
+        assert cold.profile.artifact_cache_hits() == 0
+        assert cold.digest == SequentialCompiler().compile(SOURCE).digest
+
+        warm = compiler.compile(SOURCE)
+        assert warm.profile.artifact_cache_misses() == 0
+        assert warm.profile.artifact_cache_hits() == 4
+        assert warm.digest == cold.digest
+
+        mutated = compiler.compile(MUTATED)
+        from_scratch = SequentialCompiler().compile(MUTATED)
+        assert mutated.digest == from_scratch.digest
+        assert mutated.profile.artifact_cache_misses() == 1
+        assert mutated.profile.artifact_cache_hits() == 3
+        missed = [
+            f for f in mutated.profile.functions if f.artifact_cache_misses
+        ]
+        assert [(f.section_name, f.name) for f in missed] == [("a", "a2")]
+
+    def test_cache_shared_across_compiler_instances(self, cache):
+        cached_compiler(cache).compile(SOURCE)
+        warm = cached_compiler(cache).compile(SOURCE)
+        assert warm.profile.artifact_cache_hits() == 4
+        assert warm.profile.artifact_cache_misses() == 0
+
+    def test_report_and_diagnostics_survive_the_cache(self, cache):
+        compiler = cached_compiler(cache)
+        cold = compiler.compile(SOURCE)
+        warm = compiler.compile(SOURCE)
+        cold_reports = {
+            f.key: (f.source_lines, f.work_units, f.bundles)
+            for f in cold.profile.functions
+        }
+        warm_reports = {
+            f.key: (f.source_lines, f.work_units, f.bundles)
+            for f in warm.profile.functions
+        }
+        assert cold_reports == warm_reports
+        assert warm.diagnostics_text == cold.diagnostics_text
+        # A fully cached compile still reports honest totals.
+        assert warm.profile.total_work() == cold.profile.total_work()
+        assert warm.profile.cached_function_work() == sum(
+            f.work_units for f in cold.profile.functions
+        )
+
+    def test_no_cache_means_no_counters(self):
+        result = ParallelCompiler(backend=SerialBackend()).compile(SOURCE)
+        assert result.profile.artifact_cache_hits() == 0
+        assert result.profile.artifact_cache_misses() == 0
+
+    def test_section_granularity_hits_only_when_whole_section_hits(self, cache):
+        compiler = cached_compiler(cache, granularity="section")
+        cold = compiler.compile(SOURCE)
+        assert cold.profile.artifact_cache_misses() == 4
+        warm = compiler.compile(SOURCE)
+        assert warm.profile.artifact_cache_hits() == 4
+        assert warm.digest == cold.digest
+        # Editing a2 re-dispatches all of section a (one task), so both
+        # of its functions report misses; section b stays cached.
+        mutated = compiler.compile(MUTATED)
+        assert mutated.profile.artifact_cache_misses() == 2
+        assert mutated.profile.artifact_cache_hits() == 2
+        assert mutated.digest == SequentialCompiler().compile(MUTATED).digest
+
+
+class TestStoreRobustness:
+    def test_corrupt_entry_is_discarded_and_recompiled(self, cache):
+        compiler = cached_compiler(cache)
+        cold = compiler.compile(SOURCE)
+        # Scribble over one entry on disk.
+        entries = [path for _, _, path in cache._entries()]
+        entries[0].write_bytes(b"not a pickle")
+        warm = compiler.compile(SOURCE)
+        assert warm.digest == cold.digest
+        assert warm.profile.artifact_cache_corrupt == 1
+        assert warm.profile.artifact_cache_misses() == 1
+        assert warm.profile.artifact_cache_hits() == 3
+        # The corrupt file was replaced by a fresh artifact.
+        assert cache.entry_count() == 4
+        third = compiler.compile(SOURCE)
+        assert third.profile.artifact_cache_hits() == 4
+
+    def test_wrong_type_entry_counts_as_corrupt(self, cache):
+        fingerprint = "ab" + "0" * 62
+        path = cache._entry_path(fingerprint)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get(fingerprint) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_eviction_bounds_the_store(self, tmp_path):
+        small = ArtifactCache(tmp_path / "small", max_bytes=2000)
+        compiler = cached_compiler(small)
+        cold = compiler.compile(SOURCE)
+        assert small.stats.evictions > 0
+        assert small.size_bytes() <= 2000
+        # Evicted functions just recompile; output never changes.
+        again = compiler.compile(SOURCE)
+        assert again.digest == cold.digest
+        assert again.profile.artifact_cache_evictions >= 0
+        assert (
+            again.profile.artifact_cache_hits()
+            + again.profile.artifact_cache_misses()
+            == 4
+        )
+
+    def test_put_is_atomic_no_temp_droppings(self, cache):
+        cached_compiler(cache).compile(SOURCE)
+        leftovers = [
+            p
+            for _, _, path in cache._entries()
+            for p in path.parent.iterdir()
+            if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_clear_empties_the_store(self, cache):
+        cached_compiler(cache).compile(SOURCE)
+        assert cache.clear() == 4
+        assert cache.entry_count() == 0
+
+    def test_rejects_nonpositive_size_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path, max_bytes=0)
+
+    def test_default_dir_respects_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("WARPCC_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+        monkeypatch.delenv("WARPCC_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "warpcc"
+
+
+class TestConcurrentSharing:
+    def test_two_caches_sharing_a_directory(self, tmp_path):
+        # Two compiler processes sharing one cache dir is the compile-
+        # server scenario; model it with two independent cache handles.
+        first = ArtifactCache(tmp_path / "shared")
+        second = ArtifactCache(tmp_path / "shared")
+        cached_compiler(first).compile(SOURCE)
+        warm = cached_compiler(second).compile(SOURCE)
+        assert warm.profile.artifact_cache_hits() == 4
+        assert second.stats.hits == 4

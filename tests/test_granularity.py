@@ -12,7 +12,13 @@ import pytest
 from repro.driver.function_master import FunctionTask, run_compile_task, run_function_master
 from repro.driver.master import ParallelCompiler
 from repro.driver.sequential import SequentialCompiler
+from repro.parallel.fault_tolerance import (
+    FlakyBackend,
+    RetryBudgetExceeded,
+    RetryingBackend,
+)
 from repro.parallel.local import ProcessPoolBackend, SerialBackend
+from repro.parallel.warm_pool import WarmPoolBackend
 
 from helpers import wrap_function
 
@@ -84,3 +90,41 @@ class TestGranularityOption:
             granularity="section",
         ).compile(SOURCE)
         assert parallel.digest == sequential.digest
+
+
+class TestSectionGranularityBackends:
+    """Section-level tasks through the warm farm and the §5.2 retry
+    wrapper — paths previously exercised only at function granularity."""
+
+    def test_section_granularity_with_warm_pool(self):
+        sequential = SequentialCompiler().compile(SOURCE)
+        with WarmPoolBackend(max_workers=2) as backend:
+            compiler = ParallelCompiler(
+                backend=backend, granularity="section"
+            )
+            first = compiler.compile(SOURCE)
+            second = compiler.compile(SOURCE)  # warm workers, cached parse
+        assert first.digest == sequential.digest
+        assert second.digest == sequential.digest
+        assert backend.dispatches == 2
+
+    def test_section_granularity_with_retrying_flaky_backend(self):
+        flaky = FlakyBackend(
+            SerialBackend(), 0.6, seed=1, max_failures_per_task=2
+        )
+        backend = RetryingBackend(flaky, max_attempts=4)
+        parallel = ParallelCompiler(
+            backend=backend, granularity="section"
+        ).compile(SOURCE)
+        sequential = SequentialCompiler().compile(SOURCE)
+        assert parallel.digest == sequential.digest
+        assert flaky.injected_failures > 0
+        assert backend.retries_performed > 0
+
+    def test_section_granularity_retry_budget_still_enforced(self):
+        flaky = FlakyBackend(SerialBackend(), 0.999, seed=1)
+        backend = RetryingBackend(flaky, max_attempts=2)
+        with pytest.raises(RetryBudgetExceeded):
+            ParallelCompiler(
+                backend=backend, granularity="section"
+            ).compile(SOURCE)

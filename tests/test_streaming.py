@@ -1,0 +1,169 @@
+"""Streaming recombination: results flow, section masters don't wait.
+
+The post-backend barrier is gone: every backend can yield results as
+function masters finish (``run_tasks_streaming``), the driver consumes
+through :func:`repro.parallel.backend.stream_task_results`, and
+:class:`repro.driver.section_master.StreamingSectionCombiner` combines
+each section the moment its last function lands.
+"""
+
+import pytest
+
+from repro.driver.function_master import FunctionTask, run_compile_task
+from repro.driver.master import ParallelCompiler
+from repro.driver.phases import phase1_parse_and_check
+from repro.driver.section_master import (
+    SectionCombineError,
+    StreamingSectionCombiner,
+)
+from repro.driver.sequential import SequentialCompiler
+from repro.parallel.backend import stream_task_results
+from repro.parallel.fault_tolerance import (
+    FlakyBackend,
+    RetryingBackend,
+)
+from repro.parallel.local import ProcessPoolBackend, SerialBackend
+from repro.parallel.warm_pool import WarmPoolBackend
+
+SOURCE = """
+module streams
+section a (cells 0..0)
+  function a1(x: float) : float begin return x + 1.0; end
+  function a2(x: float) : float begin return x * 2.0; end
+end
+section b (cells 1..1)
+  function b1(x: float) : float begin return x - 3.0; end
+end
+end
+"""
+
+
+def build_tasks(granularity="function"):
+    compiler = ParallelCompiler(granularity=granularity)
+    return compiler._build_tasks(
+        phase1_parse_and_check(SOURCE), SOURCE, "<t>"
+    )
+
+
+class TestStreamingBackends:
+    def test_serial_backend_streams_lazily(self):
+        stream = SerialBackend().run_tasks_streaming(build_tasks())
+        first = next(stream)
+        assert first.function_name == "a1"
+        rest = [r.function_name for r in stream]
+        assert rest == ["a2", "b1"]
+
+    def test_adapter_falls_back_to_barrier_backends(self):
+        class BarrierOnly:
+            worker_count = 1
+            effective_worker_count = 1
+
+            def run_tasks(self, tasks):
+                return [
+                    result
+                    for task in tasks
+                    for result in run_compile_task(task)
+                ]
+
+        names = [
+            r.function_name
+            for r in stream_task_results(BarrierOnly(), build_tasks())
+        ]
+        assert names == ["a1", "a2", "b1"]
+
+    def test_retrying_backend_streams_and_retries(self):
+        flaky = FlakyBackend(
+            SerialBackend(), 0.6, seed=11, max_failures_per_task=2
+        )
+        backend = RetryingBackend(flaky, max_attempts=4)
+        results = list(backend.run_tasks_streaming(build_tasks()))
+        assert sorted(r.function_name for r in results) == ["a1", "a2", "b1"]
+        assert flaky.injected_failures > 0
+
+    def test_retrying_backend_delegates_inner_attributes(self):
+        inner = WarmPoolBackend(max_workers=1)
+        wrapped = RetryingBackend(inner)
+        # Not defined on the wrapper: must come from the warm pool.
+        assert wrapped.is_warm is False
+        assert wrapped.dispatches == 0
+        wrapped.shutdown()  # delegates too
+        with pytest.raises(AttributeError):
+            wrapped.definitely_not_an_attribute
+
+    def test_process_pool_streaming_digest(self):
+        sequential = SequentialCompiler().compile(SOURCE)
+        backend = ProcessPoolBackend(max_workers=2)
+        parallel = ParallelCompiler(backend=backend).compile(SOURCE)
+        assert parallel.digest == sequential.digest
+
+    def test_warm_pool_streaming_digest_and_reuse(self):
+        sequential = SequentialCompiler().compile(SOURCE)
+        with WarmPoolBackend(max_workers=2) as backend:
+            compiler = ParallelCompiler(backend=backend)
+            assert compiler.compile(SOURCE).digest == sequential.digest
+            assert compiler.compile(SOURCE).digest == sequential.digest
+            assert backend.dispatches == 2
+
+
+class TestStreamingSectionCombiner:
+    def sections(self):
+        return phase1_parse_and_check(SOURCE).module.sections
+
+    def results(self):
+        return [
+            result
+            for task in build_tasks()
+            for result in run_compile_task(task)
+        ]
+
+    def test_section_combines_on_last_result(self):
+        combiner = StreamingSectionCombiner(self.sections())
+        a1, a2, b1 = self.results()
+        assert combiner.add(b1) is not None  # b is complete already
+        assert combiner.sections_combined == 1
+        assert combiner.add(a1) is None
+        combined_a = combiner.add(a2)
+        assert combined_a is not None
+        assert [obj.name for obj in combined_a.objects] == ["a1", "a2"]
+        combined = combiner.finalize()
+        assert sorted(combined) == ["a", "b"]
+
+    def test_arrival_order_does_not_matter(self):
+        combiner = StreamingSectionCombiner(self.sections())
+        a1, a2, b1 = self.results()
+        combiner.add(a2)
+        combiner.add(a1)
+        combiner.add(b1)
+        combined = combiner.finalize()
+        assert [obj.name for obj in combined["a"].objects] == ["a1", "a2"]
+
+    def test_missing_results_fail_finalize(self):
+        combiner = StreamingSectionCombiner(self.sections())
+        a1, _, _ = self.results()
+        combiner.add(a1)
+        with pytest.raises(SectionCombineError, match="missing"):
+            combiner.finalize()
+
+    def test_duplicate_result_detected(self):
+        combiner = StreamingSectionCombiner(self.sections())
+        a1, _, _ = self.results()
+        combiner.add(a1)
+        with pytest.raises(SectionCombineError, match="duplicate"):
+            combiner.add(a1)
+
+    def test_unknown_section_rejected(self):
+        combiner = StreamingSectionCombiner(self.sections())
+        stray = run_compile_task(
+            FunctionTask(SOURCE, "<t>", "a", "a1")
+        )[0]
+        stray.section_name = "zz"
+        with pytest.raises(SectionCombineError, match="unknown section"):
+            combiner.add(stray)
+
+    def test_late_result_for_combined_section_rejected(self):
+        combiner = StreamingSectionCombiner(self.sections())
+        _, _, b1 = self.results()
+        combiner.add(b1)
+        duplicate = self.results()[2]
+        with pytest.raises(SectionCombineError, match="late result"):
+            combiner.add(duplicate)
