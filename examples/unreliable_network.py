@@ -5,41 +5,93 @@ The paper's authors complain that on a network of autonomous UNIX nodes
 becomes unwieldy as it tries to account for all possible failures in the
 child processes and their host processors."
 
-This example injects deterministic crashes into one compilation in three
-and shows the retrying backend absorbing them: the final download module
-is still bit-identical to the sequential compiler's.
+This example drives one compilation through the full failure taxonomy —
+crashes, hangs, corrupt result payloads, and one poison function that
+crashes on every worker — and shows the supervision layer absorbing all
+of it: hung attempts are abandoned at their deadline, corrupt payloads
+are detected by digest and re-run, and the poison function is isolated
+and compiled in-process, while the final download module stays
+bit-identical to the sequential compiler's.
 
 Run:  python examples/unreliable_network.py
 """
 
 from repro import ParallelCompiler, SequentialCompiler
-from repro.parallel import FlakyBackend, RetryingBackend, SerialBackend
+from repro.parallel import (
+    ChaosBackend,
+    FlakyBackend,
+    RetryingBackend,
+    SerialBackend,
+    SupervisedBackend,
+)
 from repro.workloads.synthetic import synthetic_program
 
 SOURCE = synthetic_program("small", 6, module_name="flaky_build")
 
 
-def main() -> None:
+def crashes_only() -> None:
+    """The PR-1 story: clean crashes, absorbed by simple retry."""
     sequential = SequentialCompiler().compile(SOURCE)
-
-    # A backend where roughly every third function master "crashes"
-    # (a rebooted workstation, a killed Lisp process), but any single
-    # task fails at most twice.
     flaky = FlakyBackend(
-        SerialBackend(), failure_rate=0.5, seed=11,
-        max_failures_per_task=2,
+        SerialBackend(), failure_rate=0.5, seed=11, max_failures_per_task=2
     )
     backend = RetryingBackend(flaky, max_attempts=3)
-
     result = ParallelCompiler(backend=backend).compile(SOURCE)
-
-    print(f"function masters launched : 6 tasks")
+    print("-- crashes only (RetryingBackend) --")
     print(f"injected crashes          : {flaky.injected_failures}")
     print(f"retries performed         : {backend.retries_performed}")
     print(f"output identical to the sequential compiler:",
           result.digest == sequential.digest)
-    for line in result.report_lines()[:3]:
-        print(" ", line)
+
+
+def full_chaos() -> None:
+    """The real §5.2 weather: crashes, hangs, corruption, and a poison
+    task, supervised with deadlines, quarantine, and isolation."""
+    sequential = SequentialCompiler().compile(SOURCE)
+    chaos = ChaosBackend(
+        SerialBackend(),
+        workers=4,
+        seed=3,
+        crash_rate=0.25,        # killed Lisp processes
+        hang_rate=0.3,          # wedged workstations
+        hang_delay=1.5,
+        corrupt_rate=0.2,       # damaged IPC payloads
+        poison=(("sec1", "f3"),),  # crashes on EVERY worker
+    )
+    backend = SupervisedBackend(
+        chaos,
+        # The chaos backend reports when each attempt starts, so the
+        # deadline measures the attempt itself (queueing excluded): 1s
+        # is loose for an honest compile, tight for a 1.5s hang.
+        task_timeout=1.0,
+        max_attempts=4,
+        poison_threshold=3,     # 3 distinct workers -> isolate in-process
+    )
+    result = ParallelCompiler(backend=backend).compile(SOURCE)
+    stats = backend.supervision
+
+    print("\n-- full chaos (SupervisedBackend) --")
+    print(f"injected crashes          : {chaos.injected_crashes}")
+    print(f"injected hangs            : {chaos.injected_hangs}")
+    print(f"injected corruptions      : {chaos.injected_corruptions}")
+    print(f"deadline timeouts         : {stats.timeouts}")
+    print(f"corrupt payloads caught   : {stats.corrupt_payloads}")
+    print(f"retries / quarantines     : {stats.retries} / {stats.quarantines}")
+    print(f"poison tasks isolated     : {stats.poisoned_tasks}")
+    poisoned = [f.name for f in result.profile.poisoned_functions()]
+    print(f"poisoned functions        : {poisoned}")
+    # f3 crashed on three distinct workers, got pulled out of the farm,
+    # and compiled in-process — so the module is STILL bit-identical.
+    print(f"output identical to the sequential compiler:",
+          result.digest == sequential.digest)
+    for line in result.report_lines():
+        if "f3" in line or line.startswith("supervision:"):
+            print(" ", line)
+
+
+def main() -> None:
+    crashes_only()
+    full_chaos()
 
 
 if __name__ == "__main__":

@@ -63,6 +63,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the persistent function-level artifact cache",
     )
     compile_cmd.add_argument(
+        "--supervised", action="store_true",
+        help="wrap the backend in the supervision layer (deadlines, "
+        "straggler hedging, worker quarantine, poison-task isolation); "
+        "implies --parallel",
+    )
+    compile_cmd.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="fixed per-attempt deadline for --supervised (default: "
+        "derived from each task's cost estimate; 0 disables deadlines)",
+    )
+    compile_cmd.add_argument(
+        "--hedge-after", type=float, default=0.75, metavar="FRACTION",
+        help="launch duplicate attempts for stragglers once this "
+        "fraction of the wave has finished (0 disables hedging)",
+    )
+    compile_cmd.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="farm attempts per task before in-process isolation",
+    )
+    compile_cmd.add_argument(
+        "--poison-threshold", type=int, default=3, metavar="N",
+        help="failures on this many distinct workers flag a task as "
+        "poison and isolate it in-process",
+    )
+    compile_cmd.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="inject deterministic faults (crashes, hangs, corrupt "
+        "payloads) seeded by SEED; implies --supervised and --parallel",
+    )
+    compile_cmd.add_argument(
+        "--chaos-poison", default=None, metavar="SECTION.FUNCTION",
+        help="with --chaos: make this task crash on every worker",
+    )
+    compile_cmd.add_argument(
         "--cells", type=int, default=10, help="cells in the target array"
     )
     compile_cmd.add_argument(
@@ -157,6 +191,8 @@ def _cache_stats_line(cache) -> str:
 def _cmd_compile(args) -> int:
     source = _read_source(args.file)
     array = WarpArrayModel(cell_count=args.cells)
+    if args.supervised or args.chaos is not None:
+        args.parallel = True  # supervision wraps the parallel backend
     cache = _build_cache(args) if args.parallel else None
     try:
         if args.parallel:
@@ -165,6 +201,37 @@ def _cmd_compile(args) -> int:
                 if args.jobs is None or args.jobs > 1
                 else SerialBackend()
             )
+            if args.chaos is not None:
+                from .parallel.fault_tolerance import ChaosBackend
+
+                poison = ()
+                if args.chaos_poison:
+                    section, _, function = args.chaos_poison.partition(".")
+                    poison = ((section, function or None),)
+                # Chaos mode simulates a flaky farm around an in-process
+                # executor: deterministic under the seed, demo-friendly.
+                backend = ChaosBackend(
+                    SerialBackend(),
+                    workers=4,
+                    seed=args.chaos,
+                    crash_rate=0.2,
+                    hang_rate=0.2,
+                    hang_delay=0.2,
+                    corrupt_rate=0.1,
+                    poison=poison,
+                )
+            if args.supervised or args.chaos is not None:
+                from .parallel.supervisor import SupervisedBackend
+
+                backend = SupervisedBackend(
+                    backend,
+                    task_timeout=args.task_timeout,
+                    hedge_after=(
+                        args.hedge_after if args.hedge_after > 0 else None
+                    ),
+                    max_attempts=args.max_attempts,
+                    poison_threshold=args.poison_threshold,
+                )
             result = ParallelCompiler(
                 backend=backend, array=array, opt_level=args.opt_level,
                 cache=cache,
@@ -200,6 +267,10 @@ def _cmd_compile(args) -> int:
               f"{result.profile.download_words} words")
         if cache is not None:
             print(_cache_stats_line(cache))
+    if result.profile.failed_functions():
+        # Poison functions that could not even be compiled in-process:
+        # the module is partial, signal it without hiding the rest.
+        return 1
     return 0
 
 

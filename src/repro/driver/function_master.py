@@ -62,6 +62,24 @@ class FunctionTaskResult:
     obj: ObjectFunction
     report: FunctionReport
     diagnostics: List[str] = field(default_factory=list)
+    #: sha256 over the object code's canonical text, computed by the
+    #: function master before the result crosses the IPC boundary.  The
+    #: supervisor re-derives it on receipt: a mismatch means the payload
+    #: was corrupted in transit and the task must be re-run, not linked.
+    payload_digest: Optional[str] = None
+    #: worker that produced this result, when the backend knows (the
+    #: fault-injection suite's simulated workers report it; real pools
+    #: leave it None).  Drives the supervisor's health tracking.
+    worker: Optional[str] = None
+
+
+def result_payload_digest(result: FunctionTaskResult) -> str:
+    """Canonical digest of a result's object-code payload.
+
+    Covers exactly what the linker consumes (the object function's
+    deterministic printable form) — not diagnostics or telemetry, which
+    the master legitimately rewrites on cache hits."""
+    return hashlib.sha256(result.obj.digest_text().encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -157,13 +175,15 @@ def run_function_master(task: FunctionTask) -> FunctionTaskResult:
         task.opt_level,
     )
     _record_cache_outcome(report, hit)
-    return FunctionTaskResult(
+    result = FunctionTaskResult(
         section_name=task.section_name,
         function_name=task.function_name,
         obj=obj,
         report=report,
         diagnostics=[d.render() for d in parsed.sink.diagnostics],
     )
+    result.payload_digest = result_payload_digest(result)
+    return result
 
 
 def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
@@ -190,15 +210,15 @@ def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
         )
         if position == 0:
             _record_cache_outcome(report, hit)
-        results.append(
-            FunctionTaskResult(
-                section_name=task.section_name,
-                function_name=function.name,
-                obj=obj,
-                report=report,
-                diagnostics=rendered if position == 0 else [],
-            )
+        result = FunctionTaskResult(
+            section_name=task.section_name,
+            function_name=function.name,
+            obj=obj,
+            report=report,
+            diagnostics=rendered if position == 0 else [],
         )
+        result.payload_digest = result_payload_digest(result)
+        results.append(result)
     return results
 
 

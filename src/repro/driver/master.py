@@ -75,6 +75,10 @@ class ParallelCompiler:
         stats_before = (
             self.cache.stats.copy() if self.cache is not None else None
         )
+        supervision = getattr(self.backend, "supervision", None)
+        supervision_before = (
+            supervision.copy() if supervision is not None else None
+        )
         misses, fingerprints = self._serve_from_cache(parsed, tasks, combiner)
         dispatched = bool(misses)
         for result in stream_task_results(self.backend, misses) if misses else ():
@@ -105,6 +109,28 @@ class ParallelCompiler:
             profile.artifact_cache_corrupt = (
                 self.cache.stats.corrupt - stats_before.corrupt
             )
+        if supervision_before is not None:
+            # The supervisor's counters are cumulative across compiles;
+            # the profile records this compile's delta.
+            profile.supervised = True
+            profile.supervisor_timeouts = (
+                supervision.timeouts - supervision_before.timeouts
+            )
+            profile.supervisor_hedges_won = (
+                supervision.hedges_won - supervision_before.hedges_won
+            )
+            profile.supervisor_quarantines = (
+                supervision.quarantines - supervision_before.quarantines
+            )
+            profile.supervisor_poisoned_tasks = (
+                supervision.poisoned_tasks - supervision_before.poisoned_tasks
+            )
+            profile.supervisor_degradations = (
+                supervision.degradations - supervision_before.degradations
+            )
+            profile.supervisor_corrupt_payloads = (
+                supervision.corrupt_payloads - supervision_before.corrupt_payloads
+            )
         objects: Dict[str, List[ObjectFunction]] = {}
         diagnostics: List[str] = []
         for section in parsed.module.sections:
@@ -117,6 +143,22 @@ class ParallelCompiler:
         module, assembly_work, link_work = phase4_link_and_download(
             parsed, objects, self.array, diagnostics_text
         )
+        # Result diagnostics normally mirror the master's own sink; any
+        # others (the supervisor's poison warnings and isolation
+        # tracebacks) exist only on results.  Surface them on the
+        # compilation result — but not inside the download module, whose
+        # bytes must stay bit-identical to the sequential compiler's.
+        sink_rendered = {d.render() for d in parsed.sink.diagnostics}
+        extra = [
+            line
+            for line in dict.fromkeys(diagnostics)
+            if line not in sink_rendered
+        ]
+        if extra:
+            joined = "\n".join(extra)
+            diagnostics_text = (
+                f"{diagnostics_text}\n{joined}" if diagnostics_text else joined
+            )
         profile.assembly_work = assembly_work
         profile.link_work = link_work
         profile.download_words = module_size_words(module)
@@ -191,7 +233,16 @@ class ParallelCompiler:
         fingerprints: Dict[Tuple[str, str], str],
         result: FunctionTaskResult,
     ) -> None:
-        """Persist one freshly compiled artifact and mark its report."""
+        """Persist one freshly compiled artifact and mark its report.
+
+        Retried-then-successful results are written back like any other
+        (the section master cannot tell a third-try result from a
+        first-try one).  Poisoned or failed results are NEVER persisted:
+        an in-process rescue or a stub must not masquerade as a healthy
+        farm artifact on the next build.
+        """
+        if result.report.poisoned or result.report.failed:
+            return
         fingerprint = fingerprints.get(
             (result.section_name, result.function_name)
         )

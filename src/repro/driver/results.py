@@ -40,6 +40,12 @@ class FunctionReport:
     #: back (miss).  Both stay 0 when no artifact cache is configured.
     artifact_cache_hits: int = 0
     artifact_cache_misses: int = 0
+    #: supervision flags (0/1): ``poisoned`` means the task was pulled
+    #: out of the farm after repeated failures and compiled in-process;
+    #: ``failed`` means even the in-process compile failed, so the
+    #: object code is a stub and the module is only partially valid.
+    poisoned: int = 0
+    failed: int = 0
 
     @property
     def key(self) -> tuple:
@@ -67,6 +73,16 @@ class WorkProfile:
     #: counts live on the per-function reports.
     artifact_cache_evictions: int = 0
     artifact_cache_corrupt: int = 0
+    #: supervision counters for this compile (all 0 unless the backend
+    #: was wrapped in :class:`repro.parallel.supervisor.SupervisedBackend`;
+    #: ``supervised`` records whether a supervisor was present at all).
+    supervised: bool = False
+    supervisor_timeouts: int = 0
+    supervisor_hedges_won: int = 0
+    supervisor_quarantines: int = 0
+    supervisor_poisoned_tasks: int = 0
+    supervisor_degradations: int = 0
+    supervisor_corrupt_payloads: int = 0
 
     def function_work(self) -> int:
         return sum(f.work_units for f in self.functions)
@@ -104,6 +120,15 @@ class WorkProfile:
             + self.link_work
         )
 
+    def poisoned_functions(self) -> List[FunctionReport]:
+        """Functions isolated from the farm after repeated failures."""
+        return [f for f in self.functions if f.poisoned]
+
+    def failed_functions(self) -> List[FunctionReport]:
+        """Functions whose in-process isolation compile failed too — the
+        module carries a stub for them and the build is partial."""
+        return [f for f in self.functions if f.failed]
+
     def by_section(self) -> Dict[str, List[FunctionReport]]:
         sections: Dict[str, List[FunctionReport]] = {}
         for report in self.functions:
@@ -132,9 +157,23 @@ class CompilationResult:
             ii_text = (
                 f" II={fn.initiation_intervals}" if fn.initiation_intervals else ""
             )
+            mark = ""
+            if fn.failed:
+                mark = " [POISONED: no object code]"
+            elif fn.poisoned:
+                mark = " [poisoned: isolated in-process]"
             lines.append(
                 f"  {fn.section_name}.{fn.name}: {fn.source_lines} lines, "
                 f"{fn.work_units} work units, {fn.bundles} bundles, "
-                f"{fn.pipelined_loops} pipelined loop(s){ii_text}"
+                f"{fn.pipelined_loops} pipelined loop(s){ii_text}{mark}"
+            )
+        if self.profile.supervised:
+            lines.append(
+                f"supervision: {self.profile.supervisor_timeouts} timeout(s), "
+                f"{self.profile.supervisor_hedges_won} hedge(s) won, "
+                f"{self.profile.supervisor_quarantines} quarantine(s), "
+                f"{self.profile.supervisor_poisoned_tasks} poisoned task(s), "
+                f"{self.profile.supervisor_degradations} degradation(s), "
+                f"{self.profile.supervisor_corrupt_payloads} corrupt payload(s)"
             )
         return lines

@@ -2,6 +2,7 @@
 
 from .backend import ExecutionBackend, stream_task_results
 from .fault_tolerance import (
+    ChaosBackend,
     FlakyBackend,
     FunctionMasterFailure,
     RetryBudgetExceeded,
@@ -24,16 +25,25 @@ from .schedule import (
     one_function_per_processor,
     work_units_cost,
 )
+from .supervisor import (
+    SupervisedBackend,
+    SupervisionStats,
+    WorkerHealthTracker,
+)
 from .warm_pool import WarmPoolBackend
 
 __all__ = [
     "Assignment",
+    "ChaosBackend",
     "ExecutionBackend",
     "FlakyBackend",
     "FunctionMasterFailure",
     "MakeCycleError",
     "RetryBudgetExceeded",
     "RetryingBackend",
+    "SupervisedBackend",
+    "SupervisionStats",
+    "WorkerHealthTracker",
     "MakeResult",
     "MakeTarget",
     "ProcessPoolBackend",

@@ -1,4 +1,4 @@
-"""Fault-tolerant task execution.
+"""Fault-tolerant task execution and deterministic fault injection.
 
 The paper's §5.2 is a lament about exactly this: "it is hard to make a
 parallel program reliable ... the application code becomes unwieldy as it
@@ -9,46 +9,72 @@ their host processors."  This module packages that unwieldy code once:
   failed function-master tasks (on the real network: a crashed Lisp
   process or a rebooted workstation) until they succeed or a retry budget
   is exhausted;
-- :class:`FlakyBackend` is the matching failure injector: it makes an
+- :class:`FlakyBackend` is the matching crash injector: it makes an
   inner backend fail deterministically (seeded), so recovery paths are
-  testable and benchmarkable.
+  testable and benchmarkable;
+- :class:`ChaosBackend` is the full fault suite — clean crashes, hangs
+  (slow tasks), corrupt result payloads, whole-worker death, and poison
+  tasks that crash on every worker — over a set of *simulated named
+  workers*, so the supervisor's health tracking and quarantine logic
+  can be exercised end-to-end.
 
 Because function masters are pure (same task -> same object code), retry
 is always safe: the section master cannot tell a first-try result from a
 third-try result, and the final download module stays bit-identical.
+The richer failure taxonomy (deadlines, hedging, quarantine, poison
+isolation) lives in :mod:`repro.parallel.supervisor`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..driver.function_master import FunctionTask, FunctionTaskResult
-from .backend import ExecutionBackend
+from .backend import ExecutionBackend, stream_task_results
 
 
 class FunctionMasterFailure(Exception):
-    """One function master died (injected or real)."""
+    """One function master died (injected or real).
 
-    def __init__(self, task: FunctionTask, reason: str):
+    ``worker`` names the workstation the attempt ran on when the backend
+    knows it (the fault suite's simulated workers always do; real pools
+    usually don't) — the supervisor uses it for health attribution and
+    for counting *distinct-worker* failures toward poison detection.
+    """
+
+    def __init__(
+        self, task: FunctionTask, reason: str, worker: Optional[str] = None
+    ):
         self.task = task
         self.reason = reason
+        self.worker = worker
+        at = f" on {worker}" if worker else ""
         super().__init__(
             f"function master {task.section_name}.{task.function_name} "
-            f"failed: {reason}"
+            f"failed{at}: {reason}"
         )
 
 
 class RetryBudgetExceeded(Exception):
-    """Tasks kept failing past the retry budget."""
+    """Tasks kept failing past the retry budget.
+
+    ``failures`` carries the *complete attempt history* of every task
+    that was given up on — one :class:`FunctionMasterFailure` per failed
+    attempt, across all retry rounds, in round order.
+    """
 
     def __init__(self, failures: List[FunctionMasterFailure]):
         self.failures = failures
-        names = ", ".join(
-            f"{f.task.section_name}.{f.task.function_name}" for f in failures
-        )
-        super().__init__(f"gave up on: {names}")
+        seen = []
+        for f in failures:
+            name = f"{f.task.section_name}.{f.task.function_name}"
+            if name not in seen:
+                seen.append(name)
+        super().__init__(f"gave up on: {', '.join(seen)}")
 
 
 def _task_key(task: FunctionTask) -> Tuple[str, str]:
@@ -95,10 +121,11 @@ class FlakyBackend:
             raise failures[0]
         return results
 
-    def run_tasks_partial(
+    def _decide(
         self, tasks: List[FunctionTask]
-    ) -> Tuple[List[FunctionTaskResult], List[FunctionMasterFailure]]:
-        """Run tasks, injecting crashes; survivors are still computed."""
+    ) -> Tuple[List[FunctionTask], List[FunctionMasterFailure]]:
+        """Draw this round's crash pattern (consuming the shared RNG in
+        task order); returns (survivors, doomed)."""
         doomed: List[FunctionMasterFailure] = []
         survivors: List[FunctionTask] = []
         for task in tasks:
@@ -117,8 +144,32 @@ class FlakyBackend:
                 )
             else:
                 survivors.append(task)
+        return survivors, doomed
+
+    def run_tasks_partial(
+        self, tasks: List[FunctionTask]
+    ) -> Tuple[List[FunctionTaskResult], List[FunctionMasterFailure]]:
+        """Run tasks, injecting crashes; survivors are still computed."""
+        survivors, doomed = self._decide(tasks)
         results = self.inner.run_tasks(survivors) if survivors else []
         return results, doomed
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        """Native streaming with partial failure: survivors are yielded
+        incrementally (through the inner backend's own streaming), then
+        the first injected crash is raised as a per-task
+        :class:`FunctionMasterFailure` — so streaming consumers see real
+        partial progress instead of the barrier adapter's
+        all-or-nothing behaviour.  The crash pattern is drawn up front
+        in task order, so a given seed produces exactly the same
+        failures as ``run_tasks_partial``."""
+        survivors, doomed = self._decide(tasks)
+        if survivors:
+            yield from stream_task_results(self.inner, survivors)
+        if doomed:
+            raise doomed[0]
 
 
 class RetryingBackend:
@@ -168,9 +219,13 @@ class RetryingBackend:
         self, tasks: List[FunctionTask]
     ) -> Iterator[FunctionTaskResult]:
         """Yield each task's result as soon as an attempt produces it;
-        failed tasks re-enter the pending set for the next round."""
+        failed tasks re-enter the pending set for the next round.
+
+        Failures are accumulated across rounds: when the budget runs out,
+        :class:`RetryBudgetExceeded` carries every failed attempt of every
+        given-up task, not just the final round's."""
         pending = list(tasks)
-        last_failures: List[FunctionMasterFailure] = []
+        history: Dict[Tuple[str, str], List[FunctionMasterFailure]] = {}
         for attempt in range(1, self.max_attempts + 1):
             if not pending:
                 break
@@ -178,10 +233,17 @@ class RetryingBackend:
                 self.retries_performed += len(pending)
             results, failures = self._attempt(pending)
             yield from results
+            for failure in failures:
+                history.setdefault(_task_key(failure.task), []).append(failure)
             pending = [f.task for f in failures]
-            last_failures = failures
         if pending:
-            raise RetryBudgetExceeded(last_failures)
+            raise RetryBudgetExceeded(
+                [
+                    failure
+                    for task in pending
+                    for failure in history[_task_key(task)]
+                ]
+            )
 
     def _attempt(self, tasks: List[FunctionTask]):
         if hasattr(self.inner, "run_tasks_partial"):
@@ -196,3 +258,246 @@ class RetryingBackend:
             except Exception as error:  # a real child-process death
                 failures.append(FunctionMasterFailure(task, repr(error)))
         return results, failures
+
+
+class ChaosBackend:
+    """The full fault suite: crashes, hangs, corruption, death, poison.
+
+    Wraps an inner backend with a set of *simulated named workers*
+    (``w0`` .. ``wN-1``).  Every (task, attempt) pair is assigned a
+    worker and a fault decision drawn from a generator derived from
+    ``(seed, task key, attempt)`` — a pure function of the seed, so the
+    injected pattern is identical no matter how a supervisor interleaves
+    retries, hedges, or timeouts around it.
+
+    Fault classes (the §5.2 failure taxonomy):
+
+    - **crash** (``crash_rate``): the attempt raises
+      :class:`FunctionMasterFailure` attributed to its worker — a killed
+      Lisp process;
+    - **hang** (``hang_rate``/``hang_delay``): the attempt sleeps before
+      compiling — an overloaded or wedged workstation.  The result still
+      arrives, just late, which is exactly what deadline enforcement and
+      straggler hedging must absorb;
+    - **corrupt** (``corrupt_rate``): the attempt succeeds but its
+      payload is scribbled on *after* the function master sealed its
+      payload digest — a damaged IPC message;
+    - **worker death** (``dead_workers``): every attempt assigned to a
+      dead worker fails — a rebooted host.  Combined with the
+      supervisor's quarantine this exercises graceful degradation;
+    - **poison** (``poison``): the named tasks crash on *every* worker —
+      the task itself is bad, not the host.  Workers are rotated across
+      attempts so distinct-worker poison detection triggers.
+
+    The supervisor may call :meth:`exclude_workers` with its current
+    quarantine set; excluded workers receive no further attempts (unless
+    every worker is excluded, in which case assignment falls back to the
+    full set — mirroring a master with nowhere left to send work).
+    """
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        workers: int = 4,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        hang_delay: float = 0.25,
+        corrupt_rate: float = 0.0,
+        dead_workers: Tuple[str, ...] = (),
+        poison: Tuple[Tuple[str, Optional[str]], ...] = (),
+        max_failures_per_task: Optional[int] = None,
+        max_hangs_per_task: int = 1,
+        max_corruptions_per_task: int = 1,
+        sleep=time.sleep,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("hang_rate", hang_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.inner = inner
+        self.worker_names = tuple(f"w{i}" for i in range(workers))
+        self.seed = seed
+        self.crash_rate = crash_rate
+        self.hang_rate = hang_rate
+        self.hang_delay = hang_delay
+        self.corrupt_rate = corrupt_rate
+        self.dead_workers = frozenset(dead_workers)
+        self.poison = frozenset(poison)
+        self.max_failures_per_task = max_failures_per_task
+        self.max_hangs_per_task = max_hangs_per_task
+        self.max_corruptions_per_task = max_corruptions_per_task
+        self._sleep = sleep
+        self._excluded: frozenset = frozenset()
+        self._attempts: Dict[Tuple[str, Optional[str]], int] = {}
+        self._failures: Dict[Tuple[str, Optional[str]], int] = {}
+        self._hangs: Dict[Tuple[str, Optional[str]], int] = {}
+        self._corruptions: Dict[Tuple[str, Optional[str]], int] = {}
+        #: telemetry, per fault class
+        self.injected_crashes = 0
+        self.injected_hangs = 0
+        self.injected_corruptions = 0
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.worker_names)
+
+    @property
+    def effective_worker_count(self) -> int:
+        return getattr(
+            self.inner, "effective_worker_count", self.inner.worker_count
+        )
+
+    def exclude_workers(self, names) -> None:
+        """Stop assigning attempts to ``names`` (the supervisor's
+        quarantine set).  Passing an empty set re-admits everyone."""
+        self._excluded = frozenset(names)
+
+    # -- deterministic decisions --------------------------------------
+
+    def _rng_for(self, key, attempt: int) -> random.Random:
+        salt = f"{self.seed}:{key[0]}.{key[1]}:{attempt}".encode("utf-8")
+        digest = hashlib.sha256(salt).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _assign_worker(self, key, attempt: int) -> str:
+        """Rotate each task over the non-excluded workers, starting at a
+        key-derived offset — deterministic, and guarantees consecutive
+        attempts of one task land on *distinct* workers."""
+        available = [
+            w for w in self.worker_names if w not in self._excluded
+        ] or list(self.worker_names)
+        start = int.from_bytes(
+            hashlib.sha256(f"{self.seed}:{key[0]}.{key[1]}".encode()).digest()[:4],
+            "big",
+        )
+        return available[(start + attempt) % len(available)]
+
+    # -- execution ----------------------------------------------------
+
+    def run_tasks_events(self, tasks: List[FunctionTask]) -> Iterator[tuple]:
+        """Incremental event stream: yields ``("start", task)`` when an
+        attempt begins, then ``("result", r)`` / ``("failure", f)`` as it
+        plays out, in task order.  This is the supervisor's preferred
+        dispatch surface — failures arrive the moment they happen instead
+        of poisoning the whole stream with an exception, and start events
+        let per-task deadlines measure the attempt itself rather than the
+        queueing in front of it."""
+        for task in tasks:
+            key = _task_key(task)
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+            rng = self._rng_for(key, attempt)
+            worker = self._assign_worker(key, attempt)
+            crash_draw = rng.random()
+            hang_draw = rng.random()
+            corrupt_draw = rng.random()
+            yield ("start", task)
+
+            if key in self.poison:
+                self.injected_crashes += 1
+                yield (
+                    "failure",
+                    FunctionMasterFailure(
+                        task,
+                        f"poison task crashed (attempt {attempt + 1})",
+                        worker=worker,
+                    ),
+                )
+                continue
+            if worker in self.dead_workers:
+                self.injected_crashes += 1
+                yield (
+                    "failure",
+                    FunctionMasterFailure(
+                        task, f"worker {worker} is dead", worker=worker
+                    ),
+                )
+                continue
+            budget_left = (
+                self.max_failures_per_task is None
+                or self._failures.get(key, 0) < self.max_failures_per_task
+            )
+            if crash_draw < self.crash_rate and budget_left:
+                self.injected_crashes += 1
+                self._failures[key] = self._failures.get(key, 0) + 1
+                yield (
+                    "failure",
+                    FunctionMasterFailure(
+                        task,
+                        f"injected crash on attempt {attempt + 1}",
+                        worker=worker,
+                    ),
+                )
+                continue
+            if (
+                hang_draw < self.hang_rate
+                and self._hangs.get(key, 0) < self.max_hangs_per_task
+            ):
+                self.injected_hangs += 1
+                self._hangs[key] = self._hangs.get(key, 0) + 1
+                self._sleep(self.hang_delay)
+            try:
+                results = self.inner.run_tasks([task])
+            except FunctionMasterFailure as failure:
+                failure.worker = failure.worker or worker
+                yield ("failure", failure)
+                continue
+            except Exception as error:  # a real child-process death
+                yield (
+                    "failure",
+                    FunctionMasterFailure(task, repr(error), worker=worker),
+                )
+                continue
+            corrupt = (
+                corrupt_draw < self.corrupt_rate
+                and self._corruptions.get(key, 0) < self.max_corruptions_per_task
+            )
+            if corrupt and results:
+                self.injected_corruptions += 1
+                self._corruptions[key] = self._corruptions.get(key, 0) + 1
+            for position, result in enumerate(results):
+                result.worker = worker
+                if corrupt and position == 0:
+                    # Scribble on the payload *after* the digest was
+                    # sealed: the frame size silently changes, which
+                    # would mislink — unless validation catches it.
+                    result.obj.frame_words += 9973
+                yield ("result", result)
+
+    def run_tasks_partial(
+        self, tasks: List[FunctionTask]
+    ) -> Tuple[List[FunctionTaskResult], List[FunctionMasterFailure]]:
+        results: List[FunctionTaskResult] = []
+        failures: List[FunctionMasterFailure] = []
+        for kind, payload in self.run_tasks_events(tasks):
+            if kind == "result":
+                results.append(payload)
+            elif kind == "failure":
+                failures.append(payload)
+        return results, failures
+
+    def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
+        results, failures = self.run_tasks_partial(tasks)
+        if failures:
+            raise failures[0]
+        return results
+
+    def run_tasks_streaming(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        """Yield survivors incrementally; raise the first failure at the
+        end of the stream (per-task exception, partial progress kept)."""
+        first_failure: Optional[FunctionMasterFailure] = None
+        for kind, payload in self.run_tasks_events(tasks):
+            if kind == "result":
+                yield payload
+            elif kind == "failure" and first_failure is None:
+                first_failure = payload
+        if first_failure is not None:
+            raise first_failure

@@ -244,6 +244,56 @@ class TestStoreRobustness:
         assert default_cache_dir() == tmp_path / "xdg" / "warpcc"
 
 
+class TestWriteBackUnderFailure:
+    """Satellite of the supervision PR: a retried-then-successful task
+    is written back to the store like any first-try success, while a
+    poisoned task must NEVER be persisted — an in-process rescue (or a
+    stub) cannot masquerade as a healthy farm artifact next build."""
+
+    def test_retried_then_successful_task_is_written_back(self, cache):
+        from repro.parallel.fault_tolerance import FlakyBackend, RetryingBackend
+
+        # Every task fails exactly once, then succeeds on retry.
+        flaky = FlakyBackend(
+            SerialBackend(), 0.999, seed=1, max_failures_per_task=1
+        )
+        backend = RetryingBackend(flaky, max_attempts=3)
+        cold = ParallelCompiler(backend=backend, cache=cache).compile(SOURCE)
+        assert flaky.injected_failures == 4  # all four tasks were retried
+        assert cold.profile.artifact_cache_misses() == 4
+        assert cache.entry_count() == 4
+
+        warm = cached_compiler(cache).compile(SOURCE)
+        assert warm.profile.artifact_cache_hits() == 4
+        assert warm.digest == cold.digest
+
+    def test_poisoned_task_is_never_written_back(self, cache):
+        from repro.parallel.fault_tolerance import ChaosBackend
+        from repro.parallel.supervisor import SupervisedBackend
+
+        chaos = ChaosBackend(
+            SerialBackend(), workers=4, seed=0, poison=(("a", "a2"),)
+        )
+        backend = SupervisedBackend(
+            chaos, max_attempts=5, poison_threshold=3, hedge_after=None
+        )
+        cold = ParallelCompiler(backend=backend, cache=cache).compile(SOURCE)
+        assert [f.name for f in cold.profile.poisoned_functions()] == ["a2"]
+        # three healthy artifacts stored; the poisoned one withheld
+        assert cache.entry_count() == 3
+
+        # Differential: a later clean compile re-pays exactly the
+        # poisoned function and nothing else.
+        warm = cached_compiler(cache).compile(SOURCE)
+        assert warm.profile.artifact_cache_hits() == 3
+        assert warm.profile.artifact_cache_misses() == 1
+        missed = [
+            f for f in warm.profile.functions if f.artifact_cache_misses
+        ]
+        assert [(f.section_name, f.name) for f in missed] == [("a", "a2")]
+        assert warm.digest == SequentialCompiler().compile(SOURCE).digest
+
+
 class TestConcurrentSharing:
     def test_two_caches_sharing_a_directory(self, tmp_path):
         # Two compiler processes sharing one cache dir is the compile-

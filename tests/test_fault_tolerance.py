@@ -26,6 +26,14 @@ def flaky(rate: float, seed: int = 7, **kwargs) -> FlakyBackend:
     return FlakyBackend(SerialBackend(), rate, seed=seed, **kwargs)
 
 
+def build_tasks(source=SOURCE):
+    from repro.driver.phases import phase1_parse_and_check
+
+    return ParallelCompiler(backend=SerialBackend())._build_tasks(
+        phase1_parse_and_check(source), source, "<t>"
+    )
+
+
 class TestFlakyBackend:
     def test_zero_rate_is_transparent(self):
         par = ParallelCompiler(backend=flaky(0.0)).compile(SOURCE)
@@ -74,6 +82,24 @@ class TestRetryingBackend:
             ParallelCompiler(backend=backend).compile(SOURCE)
         assert excinfo.value.failures
 
+    def test_budget_exhaustion_reports_full_attempt_history(self):
+        # Every attempt of every given-up task must appear — not just
+        # the final round's failures.
+        inner = flaky(0.999, seed=2)
+        backend = RetryingBackend(inner, max_attempts=3)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            backend.run_tasks(build_tasks())
+        failures = excinfo.value.failures
+        assert len(failures) == 6 * 3  # 6 tasks x 3 attempts each
+        f0_reasons = [
+            f.reason for f in failures if f.task.function_name == "f0"
+        ]
+        assert f0_reasons == [
+            "injected crash on attempt 1",
+            "injected crash on attempt 2",
+            "injected crash on attempt 3",
+        ]
+
     def test_wraps_plain_backend_without_partial_api(self):
         backend = RetryingBackend(SerialBackend(), max_attempts=2)
         par = ParallelCompiler(backend=backend).compile(SOURCE)
@@ -108,3 +134,92 @@ class TestRetryingBackend:
         par = ParallelCompiler(backend=backend).compile(SOURCE)
         names = [f.name for f in par.profile.functions]
         assert names == [f"f{i}" for i in range(6)]  # source order restored
+
+
+class TestChaosBackend:
+    def chaos(self, **kwargs):
+        from repro.parallel.fault_tolerance import ChaosBackend
+
+        return ChaosBackend(SerialBackend(), **kwargs)
+
+    def test_decisions_are_a_pure_function_of_the_seed(self):
+        a = self.chaos(workers=4, seed=9, crash_rate=0.4)
+        b = self.chaos(workers=4, seed=9, crash_rate=0.4)
+        _, fail_a = a.run_tasks_partial(build_tasks())
+        _, fail_b = b.run_tasks_partial(build_tasks())
+        assert [f.task.function_name for f in fail_a] == [
+            f.task.function_name for f in fail_b
+        ]
+        assert [f.worker for f in fail_a] == [f.worker for f in fail_b]
+
+    def test_decisions_are_order_independent(self):
+        # Unlike FlakyBackend's shared RNG, chaos decisions depend only
+        # on (seed, task, attempt): reversing submission order must not
+        # change which tasks crash — the property that keeps injection
+        # deterministic under supervisor retries and hedges.
+        forward = self.chaos(workers=4, seed=9, crash_rate=0.4)
+        backward = self.chaos(workers=4, seed=9, crash_rate=0.4)
+        _, fail_f = forward.run_tasks_partial(build_tasks())
+        _, fail_b = backward.run_tasks_partial(list(reversed(build_tasks())))
+        assert sorted(f.task.function_name for f in fail_f) == sorted(
+            f.task.function_name for f in fail_b
+        )
+
+    def test_dead_worker_attempts_always_fail(self):
+        backend = self.chaos(workers=1, seed=0, dead_workers=("w0",))
+        results, failures = backend.run_tasks_partial(build_tasks())
+        assert results == []
+        assert len(failures) == 6
+        assert all(f.worker == "w0" for f in failures)
+
+    def test_poison_task_fails_on_distinct_workers(self):
+        backend = self.chaos(workers=4, seed=0, poison=(("s", "f1"),))
+        workers = set()
+        for _ in range(3):
+            _, failures = backend.run_tasks_partial(build_tasks()[1:2])
+            assert len(failures) == 1
+            workers.add(failures[0].worker)
+        assert len(workers) == 3  # rotation guarantees distinct hosts
+
+    def test_results_carry_worker_attribution(self):
+        backend = self.chaos(workers=4, seed=0)
+        results, failures = backend.run_tasks_partial(build_tasks())
+        assert failures == []
+        assert all(r.worker in backend.worker_names for r in results)
+
+    def test_excluded_workers_receive_no_attempts(self):
+        backend = self.chaos(workers=4, seed=0)
+        backend.exclude_workers({"w0", "w1"})
+        results, _ = backend.run_tasks_partial(build_tasks())
+        assert all(r.worker in ("w2", "w3") for r in results)
+
+    def test_corruption_breaks_the_payload_digest(self):
+        from repro.driver.function_master import result_payload_digest
+
+        backend = self.chaos(workers=4, seed=0, corrupt_rate=1.0)
+        results, _ = backend.run_tasks_partial(build_tasks())
+        assert backend.injected_corruptions == 6
+        assert all(
+            result_payload_digest(r) != r.payload_digest for r in results
+        )
+
+    def test_hang_delays_but_still_delivers(self):
+        naps = []
+        backend = self.chaos(
+            workers=4,
+            seed=0,
+            hang_rate=1.0,
+            hang_delay=0.01,
+            sleep=naps.append,
+        )
+        results, failures = backend.run_tasks_partial(build_tasks())
+        assert failures == []
+        assert len(results) == 6
+        assert naps == [0.01] * 6
+        assert backend.injected_hangs == 6
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            self.chaos(crash_rate=1.5)
+        with pytest.raises(ValueError):
+            self.chaos(workers=0)

@@ -71,6 +71,48 @@ class TestStreamingBackends:
         ]
         assert names == ["a1", "a2", "b1"]
 
+    def test_flaky_backend_streams_survivors_then_raises(self):
+        from repro.parallel.fault_tolerance import FunctionMasterFailure
+
+        # seed chosen so some tasks survive and at least one crashes:
+        # the stream must deliver real partial progress before raising.
+        flaky = FlakyBackend(SerialBackend(), 0.5, seed=3)
+        survivors = []
+        with pytest.raises(FunctionMasterFailure) as excinfo:
+            for result in flaky.run_tasks_streaming(build_tasks()):
+                survivors.append(result.function_name)
+        assert survivors  # partial progress was yielded, not discarded
+        assert excinfo.value.task.function_name not in survivors
+        # the crash pattern matches the bulk API under the same seed
+        twin = FlakyBackend(SerialBackend(), 0.5, seed=3)
+        _, failures = twin.run_tasks_partial(build_tasks())
+        assert excinfo.value.task.function_name == (
+            failures[0].task.function_name
+        )
+
+    def test_supervised_streaming_over_flaky_backend(self):
+        from repro.parallel.supervisor import SupervisedBackend
+
+        flaky = FlakyBackend(
+            SerialBackend(), 0.6, seed=11, max_failures_per_task=2
+        )
+        backend = SupervisedBackend(
+            flaky, max_attempts=4, hedge_after=None, task_timeout=0
+        )
+        results = list(backend.run_tasks_streaming(build_tasks()))
+        assert sorted(r.function_name for r in results) == ["a1", "a2", "b1"]
+        assert flaky.injected_failures > 0
+
+    def test_supervised_warm_pool_streaming_digest(self):
+        from repro.parallel.supervisor import SupervisedBackend
+
+        sequential = SequentialCompiler().compile(SOURCE)
+        with WarmPoolBackend(max_workers=2) as inner:
+            backend = SupervisedBackend(inner)
+            parallel = ParallelCompiler(backend=backend).compile(SOURCE)
+        assert parallel.digest == sequential.digest
+        assert backend.supervision.poisoned_tasks == 0
+
     def test_retrying_backend_streams_and_retries(self):
         flaky = FlakyBackend(
             SerialBackend(), 0.6, seed=11, max_failures_per_task=2
