@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Triage a fuzz corpus entry: rerun it under every pipeline and print
+the classification.
+
+    PYTHONPATH=src python scripts/fuzz_triage.py tests/corpus/fuzz_*.json
+    PYTHONPATH=src python scripts/fuzz_triage.py --seed 29 --size-class small
+
+With file arguments, each corpus entry's embedded source and inputs are
+replayed through the *full* pipeline matrix (not just the pipelines the
+entry pins) and the per-pipeline verdicts are printed.  With ``--seed``,
+the generator reproduces the program first — the way to investigate a
+seed reported by ``warpcc fuzz`` or the CI fuzz job.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fuzz import config_for_size_class, generate_program  # noqa: E402
+from repro.fuzz.oracle import (  # noqa: E402
+    ALL_PIPELINES,
+    DEFAULT_PIPELINES,
+    DifferentialOracle,
+    OracleConfig,
+)
+from repro.fuzz.reduce import load_corpus_entry  # noqa: E402
+
+
+def triage(oracle, name, source, inputs, seed):
+    report = oracle.check(source, inputs=inputs, seed=seed)
+    verdict = "CLEAN" if report.ok else "MISMATCH"
+    print(f"== {name}: {verdict}")
+    for outcome in report.outcomes:
+        status = outcome.digest[:16] + "…" if outcome.digest else (
+            f"error: {outcome.error}"
+        )
+        print(f"   {outcome.pipeline:18s} {status}")
+    if report.semantic_checked:
+        agree = report.reference_outputs == report.executed_outputs
+        print(f"   {'reference-vs-sim':18s} "
+              f"{'agree' if agree else 'DISAGREE'}")
+    for mismatch in report.mismatches:
+        print(f"   -> {mismatch.describe()}")
+    return report.ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("entries", nargs="*", help="corpus JSON files")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="regenerate and triage this generator seed")
+    parser.add_argument("--size-class", default="small")
+    parser.add_argument(
+        "--in-process", action="store_true",
+        help="skip the warm multiprocess pool (faster, sandbox-safe)",
+    )
+    args = parser.parse_args(argv)
+    if not args.entries and args.seed is None:
+        parser.error("give corpus files and/or --seed")
+
+    pipelines = DEFAULT_PIPELINES if args.in_process else ALL_PIPELINES
+    ok = True
+    with DifferentialOracle(OracleConfig(pipelines=pipelines)) as oracle:
+        for path in args.entries:
+            entry = load_corpus_entry(path)
+            ok &= triage(
+                oracle,
+                Path(path).name,
+                entry["source"],
+                entry["inputs"],
+                entry.get("seed", 0),
+            )
+        if args.seed is not None:
+            program = generate_program(
+                args.seed, config_for_size_class(args.size_class)
+            )
+            ok &= triage(
+                oracle,
+                f"seed {args.seed} ({args.size_class})",
+                program.source,
+                program.inputs(),
+                args.seed,
+            )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,6 +161,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the persistent function-level artifact cache",
     )
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs through every "
+        "pipeline variant, mismatches minimized into the corpus",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="base RNG seed; iteration i uses seed+i (default 0)",
+    )
+    fuzz_cmd.add_argument(
+        "--iterations", type=int, default=50,
+        help="programs to generate and check (default 50)",
+    )
+    fuzz_cmd.add_argument(
+        "--size-class", default="small", choices=sorted(SIZE_CLASSES),
+        help="generated-program size preset (default small)",
+    )
+    fuzz_cmd.add_argument(
+        "--minimize", action="store_true",
+        help="delta-debug the first mismatch and write the reduced "
+        "reproducer into the corpus",
+    )
+    fuzz_cmd.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop cleanly after this much wall-clock (for CI boxes)",
+    )
+    fuzz_cmd.add_argument(
+        "--pipelines", default=None, metavar="A,B,...",
+        help="comma-separated pipeline subset, or 'all' (default: every "
+        "in-process variant; 'all' adds the warm multiprocess pool)",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus-dir", default="tests/corpus", metavar="DIR",
+        help="where --minimize writes reproducers (default tests/corpus)",
+    )
+    fuzz_cmd.add_argument("--cells", type=int, default=10)
+    fuzz_cmd.add_argument(
+        "-O", "--opt-level", type=int, default=2, choices=(0, 1, 2)
+    )
+    fuzz_cmd.add_argument(
+        "--no-semantics", action="store_true",
+        help="skip the execute-vs-reference-interpreter leg",
+    )
+    fuzz_cmd.add_argument(
+        "--keep-going", action="store_true",
+        help="collect every mismatch instead of stopping at the first",
+    )
+    fuzz_cmd.add_argument(
+        "--inject-miscompile", default=None, metavar="PIPELINE:FUNCTION",
+        help="TESTING ONLY: perturb the named pipeline's digest when the "
+        "module defines FUNCTION, to exercise catch/minimize/corpus",
+    )
     return parser
 
 
@@ -413,6 +466,99 @@ def _cmd_bench_live(args, source: str) -> int:
         return 0 if matches else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz.oracle import (
+        ALL_PIPELINES,
+        DifferentialOracle,
+        OracleConfig,
+        run_fuzz_campaign,
+    )
+
+    if args.pipelines is None:
+        pipelines = None  # oracle default: every in-process variant
+    elif args.pipelines.strip().lower() == "all":
+        pipelines = ALL_PIPELINES
+    else:
+        pipelines = tuple(
+            part.strip() for part in args.pipelines.split(",") if part.strip()
+        )
+    config_kwargs = dict(
+        opt_level=args.opt_level,
+        cell_count=args.cells,
+        check_semantics=not args.no_semantics,
+        inject_miscompile=args.inject_miscompile,
+    )
+    if pipelines is not None:
+        config_kwargs["pipelines"] = pipelines
+    config = OracleConfig(**config_kwargs)
+
+    def progress(seed: int, report) -> None:
+        if not report.ok:
+            print(f"seed {seed}: MISMATCH", file=sys.stderr)
+            for line in report.describe():
+                print(f"  {line}", file=sys.stderr)
+
+    with DifferentialOracle(config) as oracle:
+        result = run_fuzz_campaign(
+            seed=args.seed,
+            iterations=args.iterations,
+            size_class=args.size_class,
+            oracle=oracle,
+            time_budget=args.time_budget,
+            on_iteration=progress,
+            stop_on_failure=not args.keep_going,
+        )
+        print(
+            f"fuzz: {result.iterations_run} iteration(s), "
+            f"{len(result.failures)} mismatch(es), "
+            f"{result.elapsed:.1f}s "
+            f"[size={args.size_class} base-seed={args.seed}]"
+        )
+        if result.ok:
+            return 0
+        counts = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(
+                result.kind_counts().items()
+            )
+        )
+        print(f"mismatch kinds: {counts}")
+        for failure in result.failures:
+            print(
+                f"reproduce: warpcc fuzz --seed {failure.seed} "
+                f"--iterations 1 --size-class {args.size_class}"
+            )
+        if args.minimize:
+            from .fuzz.reduce import DeltaReducer, write_corpus_entry
+
+            failure = result.failures[0]
+            reducer = DeltaReducer(
+                oracle,
+                inputs=failure.program.inputs(),
+                seed=failure.seed,
+            )
+            reduction = reducer.reduce(failure.program.source)
+            print(
+                f"minimized: {reduction.function_count} function(s), "
+                f"{reduction.statement_count} statement(s) after "
+                f"{reduction.oracle_runs} oracle run(s)"
+            )
+            path = write_corpus_entry(
+                args.corpus_dir,
+                source=reduction.source,
+                seed=failure.seed,
+                size_class=args.size_class,
+                kinds=reduction.kinds,
+                pipelines=list(config.pipelines),
+                inputs=failure.program.inputs(),
+                notes=(
+                    "minimized by warpcc fuzz --minimize; original "
+                    f"mismatches: {'; '.join(failure.report.describe())}"
+                ),
+            )
+            print(f"corpus entry written: {path}")
+    return 1
+
+
 def _cmd_disasm(args) -> int:
     from .asmlink.encode import FormatError, read_module
 
@@ -433,6 +579,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "disasm":
         return _cmd_disasm(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_bench(args)
 
 

@@ -187,13 +187,16 @@ class ParallelCompiler:
         write-back."""
         if self.cache is None:
             return tasks, {}
-        from ..cache.fingerprint import module_fingerprints
+        # The salt comes from the one canonical seam (repro.cache), passed
+        # explicitly so the keying policy is visible at the call site.
+        from ..cache import compiler_salt, module_fingerprints
 
         fingerprints = module_fingerprints(
             parsed.module,
             opt_level=self.opt_level,
             cell_count=self.array.cell_count,
             granularity=self.granularity,
+            salt=compiler_salt(),
         )
         rendered = [d.render() for d in parsed.sink.diagnostics]
         misses: List[FunctionTask] = []

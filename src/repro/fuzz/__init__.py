@@ -1,0 +1,49 @@
+"""Differential fuzzing for the parallel compiler.
+
+The paper's parallelization argument rests on one invariant: compiling
+each function independently and recombining must produce the *same*
+download module as the sequential compiler.  Every subsystem added on
+top of that — warm pool, artifact cache, streaming recombination,
+supervision, chaos injection — multiplies the number of pipelines that
+must preserve it.  This package checks the invariant mechanically:
+
+- :mod:`repro.fuzz.generator` — seeded random program generator
+  emitting valid Warp modules from an explicit RNG;
+- :mod:`repro.fuzz.oracle` — differential oracle compiling one module
+  through every pipeline variant and classifying any disagreement;
+- :mod:`repro.fuzz.reduce` — delta-debugging minimizer shrinking a
+  failing module into a permanent corpus reproducer.
+
+Entry points: ``warpcc fuzz`` (CLI), :func:`run_fuzz_campaign`, and the
+corpus regression tests in ``tests/test_corpus.py``.
+"""
+
+from .generator import (
+    GeneratorConfig,
+    GeneratedProgram,
+    config_for_size_class,
+    generate_program,
+)
+from .oracle import (
+    DifferentialOracle,
+    Mismatch,
+    OracleConfig,
+    OracleReport,
+    run_fuzz_campaign,
+)
+from .reduce import DeltaReducer, ReductionResult, write_corpus_entry
+
+__all__ = [
+    "DeltaReducer",
+    "DifferentialOracle",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "Mismatch",
+    "OracleConfig",
+    "OracleReport",
+    "ReductionResult",
+    "config_for_size_class",
+    "generate_program",
+    "run_fuzz_campaign",
+    "write_corpus_entry",
+]

@@ -1,0 +1,548 @@
+"""Seeded random Warp program generator.
+
+Emits *valid* modules — every generated program parses, passes semantic
+checking, and executes without traps on both the reference interpreter
+and the Warp simulator.  That last property is what makes the programs
+usable as differential-oracle inputs: the generator confines itself to
+the defined corner of the language (in-bounds indices, nonzero literal
+divisors, terminating loops, balanced send/receive streams) while still
+drawing from the full expression/statement/intrinsic grammar the parser
+accepts.
+
+Everything is derived from one explicit :class:`random.Random` seeded by
+the caller: the same ``(seed, config)`` always yields the same source
+text, so any fuzz finding is reproducible from its seed alone.
+
+Size-class presets mirror the paper's §4.1 S_n programs: ``tiny``
+through ``huge`` scale section, function, and statement counts so a
+campaign can sweep the same size axis the original experiments did.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+#: Loop variables reserved for ``for`` statements, outermost first.
+_LOOP_VARS = ("i", "j", "k")
+
+#: Scalars receiving the input stream, in receive order.
+_STREAM_VARS = ("x", "y", "t", "u")
+
+_FLOAT_BINOPS = ("+", "-", "*")
+_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for one generated module.  All ranges are inclusive."""
+
+    size_class: str = "small"
+    sections: Tuple[int, int] = (1, 1)
+    helpers_per_section: Tuple[int, int] = (1, 2)
+    statements_per_block: Tuple[int, int] = (2, 3)
+    main_statements: Tuple[int, int] = (4, 8)
+    max_stmt_depth: int = 2
+    max_expr_depth: int = 2
+    stream_arity: Tuple[int, int] = (2, 3)
+    array_length: int = 8
+    max_cells_per_section: int = 2
+    allow_while: bool = True
+    allow_calls: bool = True
+    allow_division: bool = True
+    allow_void_helpers: bool = True
+    allow_early_return: bool = True
+    module_name: str = "fz"
+
+
+#: §4.1-style presets: the same five size classes the paper's S_n
+#: experiment swept, scaled from statement counts instead of raw LOC.
+SIZE_CLASS_PRESETS: Dict[str, GeneratorConfig] = {
+    "tiny": GeneratorConfig(
+        size_class="tiny",
+        sections=(1, 1),
+        helpers_per_section=(0, 1),
+        statements_per_block=(1, 2),
+        main_statements=(2, 4),
+        max_stmt_depth=1,
+        max_expr_depth=2,
+        max_cells_per_section=1,
+    ),
+    "small": GeneratorConfig(size_class="small"),
+    "medium": GeneratorConfig(
+        size_class="medium",
+        sections=(1, 2),
+        helpers_per_section=(1, 3),
+        statements_per_block=(2, 4),
+        main_statements=(6, 12),
+        max_stmt_depth=2,
+        max_expr_depth=3,
+    ),
+    "large": GeneratorConfig(
+        size_class="large",
+        sections=(1, 2),
+        helpers_per_section=(2, 4),
+        statements_per_block=(3, 5),
+        main_statements=(10, 18),
+        max_stmt_depth=3,
+        max_expr_depth=3,
+    ),
+    "huge": GeneratorConfig(
+        size_class="huge",
+        sections=(2, 3),
+        helpers_per_section=(3, 5),
+        statements_per_block=(3, 6),
+        main_statements=(14, 24),
+        max_stmt_depth=3,
+        max_expr_depth=3,
+    ),
+}
+
+
+def config_for_size_class(size_class: str) -> GeneratorConfig:
+    if size_class not in SIZE_CLASS_PRESETS:
+        raise ValueError(
+            f"unknown size class {size_class!r}; "
+            f"choose from {sorted(SIZE_CLASS_PRESETS)}"
+        )
+    return replace(SIZE_CLASS_PRESETS[size_class])
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated module plus the metadata needed to replay it."""
+
+    source: str
+    seed: int
+    size_class: str
+    stream_arity: int
+    module_name: str
+    function_names: List[str] = field(default_factory=list)
+
+    def inputs(self) -> List[float]:
+        """The deterministic input stream paired with this program."""
+        rng = random.Random(self.seed ^ 0x5EED)
+        return [
+            round(rng.uniform(-4.0, 4.0), 3) for _ in range(self.stream_arity)
+        ]
+
+
+class _Scope:
+    """What the generator may legally reference at the current point."""
+
+    def __init__(self, config: GeneratorConfig, callees: List[Tuple[str, int]]):
+        self.config = config
+        self.floats: List[str] = []
+        self.ints: List[str] = []
+        self.float_arrays: List[str] = []
+        self.int_arrays: List[str] = []
+        #: for-loop variables in scope -> (low, high) value bounds
+        self.loop_bounds: Dict[str, Tuple[int, int]] = {}
+        #: variables that must not be assigned (live loop/while counters)
+        self.reserved: set = set()
+        #: float helpers callable from here: (name, arity)
+        self.callees = callees
+
+    def assignable_floats(self) -> List[str]:
+        return [v for v in self.floats if v not in self.reserved]
+
+    def assignable_ints(self) -> List[str]:
+        return [
+            v
+            for v in self.ints
+            if v not in self.reserved and v not in self.loop_bounds
+        ]
+
+    def free_loop_vars(self) -> List[str]:
+        return [
+            v
+            for v in _LOOP_VARS
+            if v in self.ints
+            and v not in self.loop_bounds
+            and v not in self.reserved
+        ]
+
+    def safe_index_vars(self) -> List[str]:
+        limit = self.config.array_length - 1
+        return [
+            v
+            for v, (low, high) in self.loop_bounds.items()
+            if 0 <= low and high <= limit
+        ]
+
+
+class _ProgramBuilder:
+    def __init__(self, rng: random.Random, config: GeneratorConfig):
+        self.rng = rng
+        self.config = config
+        self.function_names: List[str] = []
+
+    # -- expressions --------------------------------------------------
+
+    def float_literal(self) -> str:
+        value = round(self.rng.uniform(-4.0, 4.0), 3)
+        return repr(abs(value)) if value >= 0 else f"(-{abs(value)!r})"
+
+    def int_literal(self, low: int = 0, high: int = 7) -> str:
+        return str(self.rng.randint(low, high))
+
+    def index_expr(self, scope: _Scope) -> str:
+        vars_ = scope.safe_index_vars()
+        if vars_ and self.rng.random() < 0.6:
+            return self.rng.choice(vars_)
+        return self.int_literal(0, self.config.array_length - 1)
+
+    def float_expr(self, scope: _Scope, depth: int) -> str:
+        choices = ["lit", "var"]
+        if scope.float_arrays:
+            choices.append("elem")
+        if depth > 0:
+            choices += ["binop", "binop", "neg", "builtin", "minmax"]
+            if self.config.allow_division:
+                choices.append("div")
+            float_callees = [
+                (name, arity)
+                for name, arity in scope.callees
+                if arity >= 1
+            ]
+            if self.config.allow_calls and float_callees:
+                choices.append("call")
+        kind = self.rng.choice(choices)
+        if kind == "lit" or (kind == "var" and not scope.floats):
+            return self.float_literal()
+        if kind == "var":
+            return self.rng.choice(scope.floats)
+        if kind == "elem":
+            array = self.rng.choice(scope.float_arrays)
+            return f"{array}[{self.index_expr(scope)}]"
+        if kind == "neg":
+            return f"(-{self.float_expr(scope, depth - 1)})"
+        if kind == "binop":
+            op = self.rng.choice(_FLOAT_BINOPS)
+            return (
+                f"({self.float_expr(scope, depth - 1)} {op} "
+                f"{self.float_expr(scope, depth - 1)})"
+            )
+        if kind == "div":
+            # Literal nonzero divisor: defined on every input.
+            divisor = self.rng.choice(("2.0", "4.0", "1.25", "0.5", "8.0"))
+            return f"({self.float_expr(scope, depth - 1)} / {divisor})"
+        if kind == "builtin":
+            inner = self.float_expr(scope, depth - 1)
+            if self.rng.random() < 0.5:
+                return f"abs({inner})"
+            # sqrt over abs keeps the argument in the unit's domain.
+            return f"sqrt(abs({inner}))"
+        if kind == "minmax":
+            fn = self.rng.choice(("min", "max"))
+            return (
+                f"{fn}({self.float_expr(scope, depth - 1)}, "
+                f"{self.float_expr(scope, depth - 1)})"
+            )
+        # kind == "call"
+        name, arity = self.rng.choice(float_callees)
+        args = ", ".join(
+            self.float_expr(scope, depth - 1) for _ in range(arity)
+        )
+        return f"{name}({args})"
+
+    def int_expr(self, scope: _Scope, depth: int) -> str:
+        choices = ["lit", "var"]
+        if depth > 0:
+            choices += ["binop", "neg"]
+            if self.config.allow_division:
+                choices += ["mod", "div"]
+        kind = self.rng.choice(choices)
+        int_vars = scope.ints + list(scope.loop_bounds)
+        if kind == "lit" or (kind == "var" and not int_vars):
+            return self.int_literal()
+        if kind == "var":
+            return self.rng.choice(int_vars)
+        if kind == "neg":
+            return f"(-{self.int_expr(scope, depth - 1)})"
+        if kind == "mod":
+            return (
+                f"({self.int_expr(scope, depth - 1)} % "
+                f"{self.int_literal(2, 7)})"
+            )
+        if kind == "div":
+            return (
+                f"({self.int_expr(scope, depth - 1)} / "
+                f"{self.int_literal(2, 7)})"
+            )
+        op = self.rng.choice(("+", "-", "*"))
+        return (
+            f"({self.int_expr(scope, depth - 1)} {op} "
+            f"{self.int_expr(scope, depth - 1)})"
+        )
+
+    def condition(self, scope: _Scope, depth: int = 1) -> str:
+        if depth > 0 and self.rng.random() < 0.3:
+            kind = self.rng.choice(("and", "or", "not"))
+            if kind == "not":
+                return f"not ({self.condition(scope, depth - 1)})"
+            return (
+                f"({self.condition(scope, depth - 1)}) {kind} "
+                f"({self.condition(scope, depth - 1)})"
+            )
+        op = self.rng.choice(_COMPARISONS)
+        if self.rng.random() < 0.3:
+            return (
+                f"{self.int_expr(scope, 1)} {op} {self.int_expr(scope, 1)}"
+            )
+        return (
+            f"{self.float_expr(scope, 1)} {op} {self.float_expr(scope, 1)}"
+        )
+
+    # -- statements ---------------------------------------------------
+
+    def statements(
+        self, scope: _Scope, depth: int, indent: str, count: Optional[int] = None
+    ) -> List[str]:
+        low, high = self.config.statements_per_block
+        count = count if count is not None else self.rng.randint(low, high)
+        out: List[str] = []
+        for _ in range(count):
+            out.extend(self.statement(scope, depth, indent))
+        return out
+
+    def statement(self, scope: _Scope, depth: int, indent: str) -> List[str]:
+        kinds = ["assign_float", "assign_float", "assign_int", "assign_elem"]
+        if depth > 0:
+            kinds += ["if", "for"]
+            if self.config.allow_while and scope.assignable_ints():
+                kinds.append("while")
+        if (
+            self.config.allow_calls
+            and self.config.allow_void_helpers
+            and any(arity == -1 for _, arity in scope.callees)
+        ):
+            kinds.append("call_stmt")
+        kind = self.rng.choice(kinds)
+
+        if kind == "assign_float" and scope.assignable_floats():
+            var = self.rng.choice(scope.assignable_floats())
+            return [
+                f"{indent}{var} := "
+                f"{self.float_expr(scope, self.config.max_expr_depth)};"
+            ]
+        if kind == "assign_int" and scope.assignable_ints():
+            var = self.rng.choice(scope.assignable_ints())
+            return [f"{indent}{var} := {self.int_expr(scope, 2)};"]
+        if kind == "assign_elem" and scope.float_arrays:
+            array = self.rng.choice(scope.float_arrays)
+            index = self.index_expr(scope)
+            return [
+                f"{indent}{array}[{index}] := "
+                f"{self.float_expr(scope, self.config.max_expr_depth)};"
+            ]
+        if kind == "if":
+            return self._if_statement(scope, depth, indent)
+        if kind == "for" and scope.free_loop_vars():
+            return self._for_statement(scope, depth, indent)
+        if kind == "while" and scope.assignable_ints():
+            return self._while_statement(scope, depth, indent)
+        if kind == "call_stmt":
+            voids = [name for name, arity in scope.callees if arity == -1]
+            if voids:
+                name = self.rng.choice(voids)
+                return [f"{indent}{name}({self.float_expr(scope, 1)});"]
+        # Fallback: always-legal float literal store.
+        if scope.assignable_floats():
+            var = self.rng.choice(scope.assignable_floats())
+            return [f"{indent}{var} := {self.float_literal()};"]
+        return []
+
+    def _if_statement(self, scope: _Scope, depth: int, indent: str) -> List[str]:
+        out = [f"{indent}if {self.condition(scope)} then"]
+        out.extend(self.statements(scope, depth - 1, indent + "  "))
+        if self.rng.random() < 0.5:
+            out.append(f"{indent}else")
+            out.extend(self.statements(scope, depth - 1, indent + "  "))
+        out.append(f"{indent}end;")
+        return out
+
+    def _for_statement(self, scope: _Scope, depth: int, indent: str) -> List[str]:
+        var = scope.free_loop_vars()[0]
+        limit = self.config.array_length - 1
+        descending = self.rng.random() < 0.2
+        if descending:
+            low = self.rng.randint(2, limit)
+            high = self.rng.randint(0, low - 1)
+            header = f"{indent}for {var} := {low} to {high} by -1 do"
+            bounds = (high, low)
+        else:
+            low = self.rng.randint(0, 2)
+            high = self.rng.randint(low, limit)
+            step = self.rng.choice((None, None, 2))
+            by = "" if step is None else f" by {step}"
+            header = f"{indent}for {var} := {low} to {high}{by} do"
+            bounds = (low, high)
+        scope.loop_bounds[var] = bounds
+        out = [header]
+        out.extend(self.statements(scope, depth - 1, indent + "  "))
+        out.append(f"{indent}end;")
+        del scope.loop_bounds[var]
+        return out
+
+    def _while_statement(self, scope: _Scope, depth: int, indent: str) -> List[str]:
+        counter = self.rng.choice(scope.assignable_ints())
+        trips = self.rng.randint(1, 4)
+        scope.reserved.add(counter)
+        body = self.statements(scope, depth - 1, indent + "  ")
+        scope.reserved.discard(counter)
+        return [
+            f"{indent}{counter} := 0;",
+            f"{indent}while {counter} < {trips} do",
+            *body,
+            f"{indent}  {counter} := {counter} + 1;",
+            f"{indent}end;",
+        ]
+
+    # -- functions ----------------------------------------------------
+
+    def _decls(self, scope: _Scope, indent: str) -> List[str]:
+        out = [f"{indent}var"]
+        scalars = [v for v in scope.floats if v not in ("x", "y")]
+        if scalars:
+            out.append(f"{indent}  {', '.join(scalars)}: float;")
+        if scope.ints:
+            out.append(f"{indent}  {', '.join(scope.ints)}: int;")
+        length = self.config.array_length
+        for array in scope.float_arrays:
+            out.append(f"{indent}  {array}: array[{length}] of float;")
+        for array in scope.int_arrays:
+            out.append(f"{indent}  {array}: array[{length}] of int;")
+        return out
+
+    def float_helper(
+        self, name: str, callees: List[Tuple[str, int]]
+    ) -> Tuple[str, int]:
+        """A pure float function; returns (text, arity)."""
+        arity = self.rng.randint(1, 2)
+        scope = _Scope(self.config, list(callees))
+        scope.floats = ["x", "y"][:arity] + ["t", "u"]
+        scope.ints = ["i", "j", "n"]
+        scope.float_arrays = ["a"]
+        params = ", ".join(f"{p}: float" for p in ("x", "y")[:arity])
+        out = [f"  function {name}({params}) : float"]
+        out.extend(self._decls(scope, "  "))
+        out.append("  begin")
+        out.append(f"    t := {self.float_expr(scope, 1)};")
+        out.append("    u := 0.0;")
+        if self.config.allow_early_return and self.rng.random() < 0.3:
+            out.append(f"    if {self.condition(scope)} then")
+            out.append(f"      return {self.float_expr(scope, 1)};")
+            out.append("    end;")
+        out.extend(
+            self.statements(scope, self.config.max_stmt_depth - 1, "    ")
+        )
+        out.append(
+            f"    return {self.float_expr(scope, self.config.max_expr_depth)};"
+        )
+        out.append("  end")
+        self.function_names.append(name)
+        return "\n".join(out), arity
+
+    def void_helper(self, name: str, callees: List[Tuple[str, int]]) -> str:
+        """A void procedure (covers CallStmt + VOID returns)."""
+        scope = _Scope(self.config, list(callees))
+        scope.floats = ["x", "t", "u"]
+        scope.ints = ["i", "n"]
+        scope.float_arrays = ["a"]
+        out = [f"  function {name}(x: float)"]
+        out.extend(self._decls(scope, "  "))
+        out.append("  begin")
+        out.append(f"    t := (x * 2.0);")
+        out.append("    u := 1.0;")
+        out.extend(self.statements(scope, 1, "    ", count=2))
+        if self.rng.random() < 0.5:
+            out.append("    return;")
+        out.append("  end")
+        self.function_names.append(name)
+        return "\n".join(out)
+
+    def main_function(
+        self, callees: List[Tuple[str, int]], arity: int
+    ) -> str:
+        scope = _Scope(self.config, list(callees))
+        scope.floats = list(_STREAM_VARS)
+        scope.ints = list(_LOOP_VARS) + ["n", "m"]
+        scope.float_arrays = ["a"]
+        scope.int_arrays = ["c"]
+        out = ["  function main()"]
+        decls = [
+            "  var",
+            f"    {', '.join(_STREAM_VARS)}: float;",
+            f"    {', '.join(scope.ints)}: int;",
+            f"    a: array[{self.config.array_length}] of float;",
+            f"    c: array[{self.config.array_length}] of int;",
+        ]
+        out.extend(decls)
+        out.append("  begin")
+        for var in _STREAM_VARS[:arity]:
+            out.append(f"    receive({var});")
+        for var in _STREAM_VARS[arity:]:
+            out.append(f"    {var} := 0.0;")
+        low, high = self.config.main_statements
+        out.extend(
+            self.statements(
+                scope,
+                self.config.max_stmt_depth,
+                "    ",
+                count=self.rng.randint(low, high),
+            )
+        )
+        for _ in range(arity):
+            out.append(
+                f"    send({self.float_expr(scope, self.config.max_expr_depth)});"
+            )
+        out.append("  end")
+        self.function_names.append("main")
+        return "\n".join(out)
+
+
+def generate_program(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> GeneratedProgram:
+    """Generate one valid Warp module from ``seed``."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    builder = _ProgramBuilder(rng, config)
+    n_sections = rng.randint(*config.sections)
+    arity = rng.randint(*config.stream_arity)
+    module_name = f"{config.module_name}{seed & 0xFFFF}"
+    lines: List[str] = [f"module {module_name}"]
+    next_cell = 0
+    for s in range(n_sections):
+        cells = rng.randint(1, config.max_cells_per_section)
+        first, last = next_cell, next_cell + cells - 1
+        next_cell = last + 1
+        lines.append(f"section s{s + 1} (cells {first}..{last})")
+        callees: List[Tuple[str, int]] = []
+        n_helpers = rng.randint(*config.helpers_per_section)
+        for h in range(n_helpers):
+            name = f"h{s + 1}_{h + 1}"
+            text, helper_arity = builder.float_helper(name, callees)
+            lines.append(text)
+            callees.append((name, helper_arity))
+        if (
+            config.allow_void_helpers
+            and config.allow_calls
+            and rng.random() < 0.5
+        ):
+            name = f"p{s + 1}"
+            lines.append(builder.void_helper(name, callees))
+            callees.append((name, -1))  # -1 marks a void procedure
+        lines.append(builder.main_function(callees, arity))
+        lines.append("end")
+    lines.append("end")
+    return GeneratedProgram(
+        source="\n".join(lines) + "\n",
+        seed=seed,
+        size_class=config.size_class,
+        stream_arity=arity,
+        module_name=module_name,
+        function_names=list(builder.function_names),
+    )

@@ -1,0 +1,614 @@
+"""Differential oracle: one module, every pipeline, one verdict.
+
+The sequential compiler is ground truth (the paper's own validation
+strategy — recombined parallel output must be bit-identical to it, §3.2;
+Jangda's parallel-parsing work and ComPar's multi-configuration harness
+validate the same way).  The oracle compiles a module through every
+registered pipeline variant and classifies any disagreement:
+
+- ``digest``      — a pipeline's download module is not bit-identical;
+- ``diagnostic``  — a pipeline reports different diagnostics;
+- ``semantic``    — the compiled module, executed on the Warp simulator,
+  disagrees with the reference AST interpreter;
+- ``crash``       — a pipeline raised instead of compiling.
+
+Pipeline variants (the matrix):
+
+========================  ==================================================
+``sequential``            :class:`~repro.driver.sequential.SequentialCompiler`
+``parallel``              master/section/function hierarchy, in-process
+``parallel-barrier``      same, forced through the barrier (non-streaming) API
+``section``               section-granularity dispatch (§3.1's original plan)
+``warm-pool``             persistent multiprocess warm-worker farm
+``cache``                 cache-cold then cache-warm compile, shared store
+``supervised``            deadline/hedge/quarantine supervision, no faults
+``chaos``                 supervision over seeded crash/hang/corrupt faults
+========================  ==================================================
+
+The ``cache`` variant additionally asserts version isolation: after the
+warm run it re-fingerprints the module under a bumped compiler salt and
+verifies the cache serves *zero* cross-version entries.
+
+The oracle also carries an explicit **test-only miscompile hook**
+(``inject_miscompile="pipeline:function"``): when the named pipeline
+compiles a module containing the named function, the observed digest is
+perturbed.  It exists so the catch → minimize → corpus workflow itself
+is testable end to end; nothing sets it outside tests and the CLI's
+``--inject-miscompile`` testing flag.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cache import ArtifactCache, compiler_salt, module_fingerprints
+from ..driver.master import ParallelCompiler
+from ..driver.sequential import SequentialCompiler
+from ..lang.diagnostics import CompileError, DiagnosticSink
+from ..lang.parser import parse_text
+from ..lang.sema import check_module
+from ..machine.warp_array import WarpArrayModel
+from ..parallel.local import SerialBackend
+from ..warpsim.array_runner import run_module
+from .generator import GeneratedProgram, config_for_size_class, generate_program
+
+#: All pipeline variants, in the order they are checked.
+ALL_PIPELINES: Tuple[str, ...] = (
+    "sequential",
+    "parallel",
+    "parallel-barrier",
+    "section",
+    "warm-pool",
+    "cache",
+    "supervised",
+    "chaos",
+)
+
+#: The in-process subset — safe anywhere, no worker processes spawned.
+DEFAULT_PIPELINES: Tuple[str, ...] = tuple(
+    name for name in ALL_PIPELINES if name != "warm-pool"
+)
+
+MISMATCH_KINDS = ("digest", "diagnostic", "semantic", "crash")
+
+
+class _BarrierOnly:
+    """Hide a backend's streaming surface: forces the barrier API."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def worker_count(self) -> int:
+        return self._inner.worker_count
+
+    @property
+    def effective_worker_count(self) -> int:
+        return getattr(
+            self._inner, "effective_worker_count", self._inner.worker_count
+        )
+
+    def run_tasks(self, tasks):
+        return self._inner.run_tasks(tasks)
+
+
+@dataclass
+class Mismatch:
+    """One classified disagreement between pipelines."""
+
+    kind: str  # one of MISMATCH_KINDS
+    pipeline: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.pipeline}: {self.detail}"
+
+
+@dataclass
+class PipelineOutcome:
+    pipeline: str
+    digest: Optional[str] = None
+    diagnostics: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracle observed for one module."""
+
+    source: str
+    inputs: List[float]
+    outcomes: List[PipelineOutcome] = field(default_factory=list)
+    mismatches: List[Mismatch] = field(default_factory=list)
+    reference_outputs: Optional[List[float]] = None
+    executed_outputs: Optional[List[float]] = None
+    semantic_checked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def kinds(self) -> List[str]:
+        return sorted({m.kind for m in self.mismatches})
+
+    def describe(self) -> List[str]:
+        if self.ok:
+            return ["all pipelines agree"]
+        return [m.describe() for m in self.mismatches]
+
+
+@dataclass
+class OracleConfig:
+    pipelines: Sequence[str] = DEFAULT_PIPELINES
+    opt_level: int = 2
+    cell_count: int = 10
+    #: semantic check: execute on warpsim vs the reference interpreter
+    #: (tests/reference_interp.py); silently skipped if unavailable.
+    check_semantics: bool = True
+    max_cycles: int = 2_000_000
+    #: fuel for the reference interpreter — reduced candidates can loop
+    #: forever; the trap is classified as "outside the defined corner"
+    reference_max_steps: int = 200_000
+    #: chaos variant: fault seed mixed with the program seed
+    chaos_seed: int = 0
+    #: TEST-ONLY: "pipeline:function" — perturb the named pipeline's
+    #: digest when the module defines the named function.
+    inject_miscompile: Optional[str] = None
+
+
+def _load_reference_interpreter() -> Optional[Callable]:
+    """``interpret_module`` from tests/reference_interp.py, if present.
+
+    The reference interpreter deliberately lives with the tests (it is
+    the oracle's *independent* semantics, not part of the compiler); in
+    an installed-package context without the tests tree the semantic leg
+    of the oracle is skipped.
+    """
+    try:  # running under pytest: the tests dir is on sys.path
+        from reference_interp import interpret_module  # type: ignore
+
+        return interpret_module
+    except ImportError:
+        pass
+    candidate = (
+        Path(__file__).resolve().parents[3] / "tests" / "reference_interp.py"
+    )
+    if not candidate.exists():
+        return None
+    spec = importlib.util.spec_from_file_location(
+        "_warpcc_reference_interp", candidate
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.interpret_module
+
+
+class DifferentialOracle:
+    """Compiles one module through every pipeline variant and compares.
+
+    Holds the expensive resources (warm worker pool, reference
+    interpreter) across :meth:`check` calls so a campaign amortizes
+    them; call :meth:`shutdown` (or use as a context manager) when done.
+    """
+
+    def __init__(self, config: Optional[OracleConfig] = None):
+        self.config = config or OracleConfig()
+        unknown = set(self.config.pipelines) - set(ALL_PIPELINES)
+        if unknown:
+            raise ValueError(
+                f"unknown pipelines {sorted(unknown)}; "
+                f"choose from {list(ALL_PIPELINES)}"
+            )
+        self._warm_pool = None
+        self._reference = (
+            _load_reference_interpreter()
+            if self.config.check_semantics
+            else None
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "DifferentialOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._warm_pool is not None:
+            self._warm_pool.shutdown()
+            self._warm_pool = None
+
+    def _warm_backend(self):
+        if self._warm_pool is None:
+            from ..parallel.warm_pool import WarmPoolBackend
+
+            self._warm_pool = WarmPoolBackend(max_workers=2)
+        return self._warm_pool
+
+    # -- compilation legs ---------------------------------------------
+
+    def _array(self) -> WarpArrayModel:
+        return WarpArrayModel(cell_count=self.config.cell_count)
+
+    def _compile_sequential(self, source: str):
+        return SequentialCompiler(
+            array=self._array(), opt_level=self.config.opt_level
+        ).compile(source)
+
+    def _compile_variant(self, name: str, source: str, seed: int):
+        """One ParallelCompiler run for pipeline ``name``; returns the
+        CompilationResult (the ``cache`` variant returns the warm run)."""
+        kwargs = dict(array=self._array(), opt_level=self.config.opt_level)
+        if name == "parallel":
+            return ParallelCompiler(backend=SerialBackend(), **kwargs).compile(
+                source
+            )
+        if name == "parallel-barrier":
+            return ParallelCompiler(
+                backend=_BarrierOnly(SerialBackend()), **kwargs
+            ).compile(source)
+        if name == "section":
+            return ParallelCompiler(
+                backend=SerialBackend(), granularity="section", **kwargs
+            ).compile(source)
+        if name == "warm-pool":
+            return ParallelCompiler(
+                backend=self._warm_backend(), **kwargs
+            ).compile(source)
+        if name == "cache":
+            return self._compile_cache_variant(source, **kwargs)
+        if name == "supervised":
+            from ..parallel.supervisor import SupervisedBackend
+
+            backend = SupervisedBackend(SerialBackend(), hedge_after=None)
+            return ParallelCompiler(backend=backend, **kwargs).compile(source)
+        if name == "chaos":
+            from ..parallel.fault_tolerance import ChaosBackend
+            from ..parallel.supervisor import SupervisedBackend
+
+            chaos = ChaosBackend(
+                SerialBackend(),
+                workers=3,
+                seed=self.config.chaos_seed ^ seed,
+                crash_rate=0.25,
+                hang_rate=0.15,
+                hang_delay=0.005,
+                corrupt_rate=0.15,
+                max_failures_per_task=2,
+            )
+            # Deadlines off: under CI load a wall-clock deadline expiry
+            # would add retries, making the fault replay timing-dependent.
+            backend = SupervisedBackend(
+                chaos,
+                task_timeout=0,
+                hedge_after=None,
+                max_attempts=6,
+                poison_threshold=6,
+            )
+            return ParallelCompiler(backend=backend, **kwargs).compile(source)
+        raise ValueError(f"unknown pipeline {name!r}")
+
+    def _compile_cache_variant(self, source: str, *, array, opt_level):
+        """Cold compile, warm recompile, digest from the warm run; plus
+        the cross-version salt isolation assertion."""
+        with tempfile.TemporaryDirectory(prefix="warpcc-fuzz-cache-") as tmp:
+            cache = ArtifactCache(tmp)
+            compiler = ParallelCompiler(
+                backend=SerialBackend(),
+                array=array,
+                opt_level=opt_level,
+                cache=cache,
+            )
+            cold = compiler.compile(source)
+            warm = compiler.compile(source)
+            if cold.digest != warm.digest:
+                raise OracleInvariantError(
+                    "cache-warm digest diverged from cache-cold: "
+                    f"{warm.digest} != {cold.digest}"
+                )
+            if cache.stats.hits == 0:
+                raise OracleInvariantError(
+                    "warm recompile served no artifact-cache hits"
+                )
+            self._assert_salt_isolation(source, cache, array, opt_level)
+            return warm
+
+    def _assert_salt_isolation(self, source, cache, array, opt_level) -> None:
+        """A salted cache must never serve cross-version entries: the
+        same module fingerprinted under a bumped compiler salt must miss
+        on every function."""
+        sink = DiagnosticSink()
+        module = parse_text(source, sink)
+        if sink.has_errors:
+            return
+        bumped = module_fingerprints(
+            module,
+            opt_level=opt_level,
+            cell_count=array.cell_count,
+            granularity="function",
+            salt=compiler_salt() + "+next-version",
+        )
+        for key, fingerprint in bumped.items():
+            if cache.get(fingerprint) is not None:
+                raise OracleInvariantError(
+                    f"cache served a cross-version entry for {key} — "
+                    "the compiler salt is not isolating versions"
+                )
+
+    # -- the check ----------------------------------------------------
+
+    def check(
+        self, source: str, inputs: Optional[List[float]] = None, seed: int = 0
+    ) -> OracleReport:
+        """Compile ``source`` through every configured pipeline and
+        classify disagreements against the sequential ground truth."""
+        report = OracleReport(source=source, inputs=list(inputs or []))
+
+        baseline = None
+        try:
+            baseline = self._compile_sequential(source)
+            report.outcomes.append(
+                PipelineOutcome(
+                    "sequential",
+                    digest=self._observed_digest("sequential", baseline),
+                    diagnostics=baseline.diagnostics_text,
+                )
+            )
+        except CompileError as error:
+            rendered = "\n".join(d.render() for d in error.diagnostics)
+            report.outcomes.append(
+                PipelineOutcome("sequential", error=rendered)
+            )
+        except Exception as error:  # noqa: BLE001 - classified, not hidden
+            report.outcomes.append(
+                PipelineOutcome("sequential", error=repr(error))
+            )
+            report.mismatches.append(
+                Mismatch("crash", "sequential", repr(error))
+            )
+            return report
+
+        for name in self.config.pipelines:
+            if name == "sequential":
+                continue
+            self._check_pipeline(name, source, seed, baseline, report)
+
+        if baseline is not None and self._reference is not None:
+            self._check_semantics(source, report, baseline)
+        return report
+
+    def _observed_digest(self, pipeline: str, result) -> str:
+        digest = result.digest
+        spec = self.config.inject_miscompile
+        if spec:
+            target_pipeline, _, target_fn = spec.partition(":")
+            if pipeline == target_pipeline and any(
+                report.name == target_fn
+                for report in result.profile.functions
+            ):
+                digest = "miscompiled+" + digest
+        return digest
+
+    def _check_pipeline(
+        self, name: str, source: str, seed: int, baseline, report: OracleReport
+    ) -> None:
+        try:
+            result = self._compile_variant(name, source, seed)
+        except CompileError as error:
+            rendered = "\n".join(d.render() for d in error.diagnostics)
+            report.outcomes.append(PipelineOutcome(name, error=rendered))
+            if baseline is not None:
+                report.mismatches.append(
+                    Mismatch(
+                        "diagnostic",
+                        name,
+                        "pipeline rejected a module the sequential "
+                        f"compiler accepted: {rendered}",
+                    )
+                )
+            return
+        except OracleInvariantError as error:
+            report.outcomes.append(PipelineOutcome(name, error=str(error)))
+            report.mismatches.append(Mismatch("digest", name, str(error)))
+            return
+        except Exception as error:  # noqa: BLE001 - classified, not hidden
+            report.outcomes.append(PipelineOutcome(name, error=repr(error)))
+            report.mismatches.append(Mismatch("crash", name, repr(error)))
+            return
+
+        digest = self._observed_digest(name, result)
+        report.outcomes.append(
+            PipelineOutcome(
+                name, digest=digest, diagnostics=result.diagnostics_text
+            )
+        )
+        if baseline is None:
+            report.mismatches.append(
+                Mismatch(
+                    "diagnostic",
+                    name,
+                    "pipeline accepted a module the sequential compiler "
+                    "rejected",
+                )
+            )
+            return
+        expected = self._observed_digest("sequential", baseline)
+        if digest != expected:
+            report.mismatches.append(
+                Mismatch(
+                    "digest",
+                    name,
+                    f"download digest {digest[:16]}… != "
+                    f"sequential {expected[:16]}…",
+                )
+            )
+        if result.diagnostics_text != baseline.diagnostics_text:
+            report.mismatches.append(
+                Mismatch(
+                    "diagnostic",
+                    name,
+                    f"diagnostics {result.diagnostics_text!r} != "
+                    f"{baseline.diagnostics_text!r}",
+                )
+            )
+
+    def _check_semantics(self, source, report: OracleReport, baseline) -> None:
+        sink = DiagnosticSink()
+        module = parse_text(source, sink)
+        if not sink.has_errors:
+            check_module(module, sink)
+        if sink.has_errors:
+            return
+        try:
+            expected = self._reference(
+                module,
+                list(report.inputs),
+                self.config.reference_max_steps,
+            )
+        except Exception as error:  # reference trap: outside the defined
+            report.outcomes.append(  # corner of the language — skip.
+                PipelineOutcome("reference", error=repr(error))
+            )
+            return
+        report.reference_outputs = expected
+        report.semantic_checked = True
+        try:
+            outcome = run_module(
+                baseline.download,
+                list(report.inputs),
+                array=self._array(),
+                max_cycles=self.config.max_cycles,
+            )
+        except Exception as error:  # noqa: BLE001 - classified, not hidden
+            report.mismatches.append(
+                Mismatch("crash", "warpsim", repr(error))
+            )
+            return
+        report.executed_outputs = list(outcome.outputs)
+        if list(outcome.outputs) != list(expected):
+            report.mismatches.append(
+                Mismatch(
+                    "semantic",
+                    "warpsim",
+                    f"executed outputs {outcome.outputs} != "
+                    f"reference {expected}",
+                )
+            )
+
+
+class OracleInvariantError(AssertionError):
+    """An oracle-internal invariant (cache warmth, salt isolation) broke."""
+
+
+def narrowed_config(
+    config: OracleConfig, report: OracleReport
+) -> OracleConfig:
+    """A cheaper config that still reproduces ``report``'s mismatches:
+    sequential plus only the pipelines that actually disagreed, with the
+    semantic leg kept only when a semantic mismatch is present.  Used by
+    the minimizer, where every candidate pays one oracle run."""
+    failing = {m.pipeline for m in report.mismatches}
+    pipelines = tuple(
+        name
+        for name in config.pipelines
+        if name == "sequential" or name in failing
+    ) or config.pipelines
+    if "sequential" not in pipelines:
+        pipelines = ("sequential",) + pipelines
+    semantic = any(
+        m.kind in ("semantic", "crash") and m.pipeline == "warpsim"
+        for m in report.mismatches
+    )
+    return OracleConfig(
+        pipelines=pipelines,
+        opt_level=config.opt_level,
+        cell_count=config.cell_count,
+        check_semantics=config.check_semantics and semantic,
+        max_cycles=min(config.max_cycles, 200_000),
+        reference_max_steps=min(config.reference_max_steps, 50_000),
+        chaos_seed=config.chaos_seed,
+        inject_miscompile=config.inject_miscompile,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver (shared by the CLI and the CI fuzz job)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignFailure:
+    seed: int
+    program: GeneratedProgram
+    report: OracleReport
+
+
+@dataclass
+class CampaignResult:
+    iterations_run: int = 0
+    elapsed: float = 0.0
+    failures: List[CampaignFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            for kind in failure.report.kinds():
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+
+def run_fuzz_campaign(
+    seed: int,
+    iterations: int,
+    size_class: str = "small",
+    oracle: Optional[DifferentialOracle] = None,
+    time_budget: Optional[float] = None,
+    on_iteration: Optional[Callable[[int, OracleReport], None]] = None,
+    stop_on_failure: bool = True,
+) -> CampaignResult:
+    """Generate-and-check ``iterations`` programs starting at ``seed``.
+
+    ``time_budget`` (seconds) bounds wall-clock for CI time-boxed runs;
+    the campaign stops cleanly after the iteration that exceeds it.
+    """
+    generator_config = config_for_size_class(size_class)
+    owned = oracle is None
+    oracle = oracle or DifferentialOracle()
+    result = CampaignResult()
+    start = time.perf_counter()
+    try:
+        for index in range(iterations):
+            program_seed = seed + index
+            program = generate_program(program_seed, generator_config)
+            report = oracle.check(
+                program.source, inputs=program.inputs(), seed=program_seed
+            )
+            result.iterations_run += 1
+            if on_iteration is not None:
+                on_iteration(program_seed, report)
+            if not report.ok:
+                result.failures.append(
+                    CampaignFailure(program_seed, program, report)
+                )
+                if stop_on_failure:
+                    break
+            if (
+                time_budget is not None
+                and time.perf_counter() - start > time_budget
+            ):
+                break
+    finally:
+        result.elapsed = time.perf_counter() - start
+        if owned:
+            oracle.shutdown()
+    return result

@@ -1,0 +1,146 @@
+"""AST-to-source rendering (the parser's inverse).
+
+The delta-debugging reducer (:mod:`repro.fuzz.reduce`) shrinks failing
+programs by editing the AST — dropping functions, deleting statements,
+simplifying expressions — and every candidate must go back through the
+*real* front end, because the oracle's pipelines all start from source
+text.  Rendering is deliberately conservative: every compound expression
+is fully parenthesized, so operator precedence can never change the tree
+a candidate re-parses to.  ``parse(unparse(ast))`` is structurally
+identical to ``ast`` up to spans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .types import ArrayType, FLOAT, INT, Type, VOID
+
+_INDENT = "  "
+
+
+def unparse_type(type_: Type) -> str:
+    if type_ == INT:
+        return "int"
+    if type_ == FLOAT:
+        return "float"
+    if isinstance(type_, ArrayType):
+        return f"array[{type_.length}] of {unparse_type(type_.element)}"
+    raise ValueError(f"cannot render type {type_!r}")
+
+
+def unparse_expr(expr: Optional[ast.Expr]) -> str:
+    if expr is None:
+        return ""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLiteral):
+        # repr() round-trips doubles exactly, but the lexer has no
+        # exponent-free guarantee for e.g. 1e-07 — normalize those.
+        text = repr(expr.value)
+        if "e" in text or "E" in text:
+            text = f"{expr.value:.17f}".rstrip("0")
+            if text.endswith("."):
+                text += "0"
+        return text
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.IndexExpr):
+        return f"{unparse_expr(expr.base)}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.UnaryExpr):
+        if expr.op == "not":
+            return f"(not {unparse_expr(expr.operand)})"
+        return f"({expr.op}{unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryExpr):
+        return (
+            f"({unparse_expr(expr.left)} {expr.op} "
+            f"{unparse_expr(expr.right)})"
+        )
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(unparse_expr(arg) for arg in expr.args)
+        return f"{expr.callee}({args})"
+    raise ValueError(f"cannot render expression {type(expr).__name__}")
+
+
+def _unparse_stmt(stmt: ast.Stmt, indent: str, out: List[str]) -> None:
+    if isinstance(stmt, ast.AssignStmt):
+        out.append(
+            f"{indent}{unparse_expr(stmt.target)} := "
+            f"{unparse_expr(stmt.value)};"
+        )
+    elif isinstance(stmt, ast.IfStmt):
+        out.append(f"{indent}if {unparse_expr(stmt.condition)} then")
+        _unparse_body(stmt.then_body, indent + _INDENT, out)
+        if stmt.else_body:
+            out.append(f"{indent}else")
+            _unparse_body(stmt.else_body, indent + _INDENT, out)
+        out.append(f"{indent}end;")
+    elif isinstance(stmt, ast.ForStmt):
+        header = (
+            f"{indent}for {stmt.var} := {unparse_expr(stmt.low)} "
+            f"to {unparse_expr(stmt.high)}"
+        )
+        if stmt.step is not None:
+            header += f" by {unparse_expr(stmt.step)}"
+        out.append(header + " do")
+        _unparse_body(stmt.body, indent + _INDENT, out)
+        out.append(f"{indent}end;")
+    elif isinstance(stmt, ast.WhileStmt):
+        out.append(f"{indent}while {unparse_expr(stmt.condition)} do")
+        _unparse_body(stmt.body, indent + _INDENT, out)
+        out.append(f"{indent}end;")
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            out.append(f"{indent}return;")
+        else:
+            out.append(f"{indent}return {unparse_expr(stmt.value)};")
+    elif isinstance(stmt, ast.SendStmt):
+        out.append(f"{indent}send({unparse_expr(stmt.value)});")
+    elif isinstance(stmt, ast.ReceiveStmt):
+        out.append(f"{indent}receive({unparse_expr(stmt.target)});")
+    elif isinstance(stmt, ast.CallStmt):
+        out.append(f"{indent}{unparse_expr(stmt.call)};")
+    else:
+        raise ValueError(f"cannot render statement {type(stmt).__name__}")
+
+
+def _unparse_body(stmts: List[ast.Stmt], indent: str, out: List[str]) -> None:
+    for stmt in stmts:
+        _unparse_stmt(stmt, indent, out)
+
+
+def unparse_function(fn: ast.Function, indent: str = _INDENT) -> str:
+    out: List[str] = []
+    params = ", ".join(
+        f"{param.name}: {unparse_type(param.type)}" for param in fn.params
+    )
+    header = f"{indent}function {fn.name}({params})"
+    if fn.return_type != VOID:
+        header += f" : {unparse_type(fn.return_type)}"
+    out.append(header)
+    if fn.locals:
+        out.append(f"{indent}var")
+        for decl in fn.locals:
+            out.append(
+                f"{indent}{_INDENT}{decl.name}: {unparse_type(decl.type)};"
+            )
+    out.append(f"{indent}begin")
+    _unparse_body(fn.body, indent + _INDENT, out)
+    out.append(f"{indent}end")
+    return "\n".join(out)
+
+
+def unparse_module(module: ast.Module) -> str:
+    """Render a module back to parsable source text."""
+    out: List[str] = [f"module {module.name}"]
+    for section in module.sections:
+        out.append(
+            f"section {section.name} "
+            f"(cells {section.first_cell}..{section.last_cell})"
+        )
+        for fn in section.functions:
+            out.append(unparse_function(fn))
+        out.append("end")
+    out.append("end")
+    return "\n".join(out) + "\n"

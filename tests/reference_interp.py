@@ -30,16 +30,27 @@ class _Returning(Exception):
 
 
 class _FunctionFrame:
-    def __init__(self, fn: ast.Function, args: List[Number]):
+    """One call's view of a function's statically allocated frame.
+
+    Scalars are re-zeroed on every call (the compiled prologue emits the
+    movs); arrays live in the cell's data memory — zero-filled once at
+    download time and *persistent across calls*, exactly like the
+    machine's stack-less frames — so the caller passes in the function's
+    static array storage instead of fresh copies.
+    """
+
+    def __init__(
+        self,
+        fn: ast.Function,
+        args: List[Number],
+        static_arrays: Dict[str, List[Number]],
+    ):
         self.scalars: Dict[str, Number] = {}
-        self.arrays: Dict[str, List[Number]] = {}
+        self.arrays = static_arrays
         for param, arg in zip(fn.params, args):
             self.scalars[param.name] = _coerce(arg, param.type)
         for decl in fn.locals:
-            if isinstance(decl.type, ArrayType):
-                zero = 0 if decl.type.element == INT else 0.0
-                self.arrays[decl.name] = [zero] * decl.type.length
-            else:
+            if not isinstance(decl.type, ArrayType):
                 self.scalars[decl.name] = 0 if decl.type == INT else 0.0
 
 
@@ -52,11 +63,30 @@ def _coerce(value: Number, target) -> Number:
 class CellInterpreter:
     """Runs one cell's section program against input/output streams."""
 
-    def __init__(self, section: ast.Section, inputs: List[Number]):
+    def __init__(
+        self,
+        section: ast.Section,
+        inputs: List[Number],
+        max_steps: int = 1_000_000,
+    ):
         self.section = section
         self.inputs = list(inputs)
         self.outputs: List[Number] = []
         self.functions = {fn.name: fn for fn in section.functions}
+        # Fuel, shared by the whole cell: mutated (fuzzed/reduced)
+        # programs can loop forever; trap instead of hanging the oracle.
+        self.steps_left = max_steps
+        # Static frame arrays, one set per function for the cell's whole
+        # lifetime (cells are stack-less; data memory is zero-filled at
+        # download time and persists across calls).
+        self.static_arrays: Dict[str, Dict[str, List[Number]]] = {}
+        for fn in section.functions:
+            arrays: Dict[str, List[Number]] = {}
+            for decl in fn.locals:
+                if isinstance(decl.type, ArrayType):
+                    zero = 0 if decl.type.element == INT else 0.0
+                    arrays[decl.name] = [zero] * decl.type.length
+            self.static_arrays[fn.name] = arrays
 
     def run(self, entry_name: str) -> List[Number]:
         entry = self.functions[entry_name]
@@ -67,7 +97,7 @@ class CellInterpreter:
         return self.outputs
 
     def call(self, fn: ast.Function, args: List[Number]) -> Optional[Number]:
-        frame = _FunctionFrame(fn, args)
+        frame = _FunctionFrame(fn, args, self.static_arrays[fn.name])
         try:
             for stmt in fn.body:
                 self._exec(stmt, frame)
@@ -84,6 +114,9 @@ class CellInterpreter:
     # -- statements ---------------------------------------------------------
 
     def _exec(self, stmt: ast.Stmt, frame: _FunctionFrame) -> None:
+        self.steps_left -= 1
+        if self.steps_left < 0:
+            raise ReferenceTrap("step budget exhausted (runaway loop?)")
         if isinstance(stmt, ast.AssignStmt):
             value = self._eval(stmt.value, frame)
             self._store(stmt.target, value, frame)
@@ -238,7 +271,11 @@ class CellInterpreter:
         return 1 if comparisons[op] else 0
 
 
-def interpret_module(module: ast.Module, inputs: List[Number]) -> List[Number]:
+def interpret_module(
+    module: ast.Module,
+    inputs: List[Number],
+    max_steps: int = 1_000_000,
+) -> List[Number]:
     """Run a (possibly multi-cell) single/multi-section module.
 
     Cells run left to right; each cell's outputs feed the next cell, as on
@@ -250,6 +287,6 @@ def interpret_module(module: ast.Module, inputs: List[Number]) -> List[Number]:
             section.functions[0].name
         )
         for _cell in range(section.cell_count):
-            interp = CellInterpreter(section, stream)
+            interp = CellInterpreter(section, stream, max_steps=max_steps)
             stream = interp.run(entry)
     return stream

@@ -1,0 +1,173 @@
+"""ChaosBackend fault schedules are a pure function of the seed.
+
+Every fault decision is drawn from an RNG derived from ``(seed, task
+key, attempt)`` — sha256-hashed, so the schedule cannot depend on how a
+caller interleaves dispatch.  These tests pin that contract: the same
+seed must replay the *identical* fault schedule whether the compile runs
+under barrier execution (``run_tasks_partial``) or streaming
+(``run_tasks_streaming`` / ``run_tasks_events``), and regardless of task
+submission order.
+"""
+
+import pytest
+
+from repro.driver.master import ParallelCompiler
+from repro.driver.phases import phase1_parse_and_check
+from repro.driver.sequential import SequentialCompiler
+from repro.parallel.fault_tolerance import ChaosBackend, FunctionMasterFailure
+from repro.parallel.local import SerialBackend
+from repro.parallel.supervisor import SupervisedBackend
+
+from helpers import wrap_function
+
+SOURCE = wrap_function(
+    "\n".join(
+        f"function f{i}(x: float) : float begin return x + {float(i)}; end"
+        for i in range(8)
+    )
+)
+
+
+def chaos(seed: int = 13) -> ChaosBackend:
+    return ChaosBackend(
+        SerialBackend(),
+        workers=3,
+        seed=seed,
+        crash_rate=0.4,
+        hang_rate=0.3,
+        hang_delay=0.0,
+        corrupt_rate=0.3,
+    )
+
+
+def build_tasks(source=SOURCE):
+    return ParallelCompiler(backend=SerialBackend())._build_tasks(
+        phase1_parse_and_check(source), source, "<t>"
+    )
+
+
+def schedule_via_barrier(backend, tasks):
+    """(fault telemetry, per-task outcome) after one barrier dispatch."""
+    results, failures = backend.run_tasks_partial(tasks)
+    return _schedule(backend, results, failures)
+
+
+def schedule_via_streaming(backend, tasks):
+    """Same, driving the incremental streaming surface instead."""
+    results, failures = [], []
+    stream = backend.run_tasks_streaming(tasks)
+    while True:
+        try:
+            results.append(next(stream))
+        except StopIteration:
+            break
+        except FunctionMasterFailure as failure:
+            failures.append(failure)
+            break
+    return _schedule(backend, results, failures)
+
+
+def _schedule(backend, results, failures):
+    return {
+        "crashes": backend.injected_crashes,
+        "hangs": backend.injected_hangs,
+        "corruptions": backend.injected_corruptions,
+        "results": sorted(
+            (r.section_name, r.function_name, r.worker) for r in results
+        ),
+        "failures": sorted(
+            (f.task.section_name, f.task.function_name, f.worker)
+            for f in failures
+        ),
+    }
+
+
+class TestScheduleDeterminism:
+    def test_barrier_and_streaming_replay_identical_schedules(self):
+        tasks = build_tasks()
+        barrier = schedule_via_barrier(chaos(), list(tasks))
+        streaming = schedule_via_streaming(chaos(), list(tasks))
+        # run_tasks_streaming stops at the first failure (partial
+        # progress model); compare the common prefix of outcomes and
+        # the exact fault decisions for every task both paths reached.
+        assert streaming["failures"] == barrier["failures"][:1] or (
+            not barrier["failures"] and not streaming["failures"]
+        )
+        reached = {r for r in streaming["results"]}
+        assert reached <= set(barrier["results"])
+
+    def test_events_replay_is_bitwise_identical(self):
+        tasks = build_tasks()
+
+        def trace(backend):
+            events = []
+            for kind, payload in backend.run_tasks_events(list(tasks)):
+                if kind == "start":
+                    events.append(("start", payload.function_name))
+                elif kind == "result":
+                    events.append(
+                        ("result", payload.function_name, payload.worker)
+                    )
+                else:
+                    events.append(
+                        ("failure", payload.task.function_name, payload.worker)
+                    )
+            return events, (
+                backend.injected_crashes,
+                backend.injected_hangs,
+                backend.injected_corruptions,
+            )
+
+        assert trace(chaos()) == trace(chaos())
+
+    def test_schedule_is_submission_order_independent(self):
+        tasks = build_tasks()
+        forward = chaos()
+        reverse = chaos()
+        f_results, f_failures = forward.run_tasks_partial(list(tasks))
+        r_results, r_failures = reverse.run_tasks_partial(
+            list(reversed(tasks))
+        )
+        key = lambda r: (r.section_name, r.function_name, r.worker)
+        fkey = lambda f: (f.task.section_name, f.task.function_name, f.worker)
+        assert sorted(map(key, f_results)) == sorted(map(key, r_results))
+        assert sorted(map(fkey, f_failures)) == sorted(map(fkey, r_failures))
+
+    def test_different_seeds_give_different_schedules(self):
+        tasks = build_tasks()
+        a = schedule_via_barrier(chaos(seed=1), list(tasks))
+        b = schedule_via_barrier(chaos(seed=2), list(tasks))
+        assert a != b
+
+
+class TestSupervisedReplay:
+    @pytest.mark.parametrize("seed", (3, 11, 29))
+    def test_supervised_compile_digest_reproduces_under_seed(self, seed):
+        """The full supervised-chaos pipeline, run twice with one seed,
+        injects the same faults and produces the sequential digest."""
+
+        def compile_once():
+            inner = chaos(seed)
+            # Deadlines off (task_timeout=0) and hedging off: attempt
+            # counts then depend only on the seeded crash schedule, not
+            # on wall-clock under CI load, so the telemetry comparison
+            # below is sound.
+            backend = SupervisedBackend(
+                inner,
+                task_timeout=0,
+                hedge_after=None,
+                max_attempts=6,
+                poison_threshold=6,
+            )
+            result = ParallelCompiler(backend=backend).compile(SOURCE)
+            return result.digest, (
+                inner.injected_crashes,
+                inner.injected_hangs,
+                inner.injected_corruptions,
+            )
+
+        digest_a, faults_a = compile_once()
+        digest_b, faults_b = compile_once()
+        assert digest_a == digest_b
+        assert faults_a == faults_b
+        assert digest_a == SequentialCompiler().compile(SOURCE).digest

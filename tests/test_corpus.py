@@ -1,0 +1,45 @@
+"""Corpus regression tests.
+
+Every fuzz-found (and minimized) reproducer in ``tests/corpus/`` is
+replayed through the pipelines named in its entry; the oracle must
+report full agreement.  Adding a JSON entry — by hand or via
+``warpcc fuzz --minimize`` — automatically adds a test here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.oracle import DifferentialOracle, OracleConfig
+from repro.fuzz.reduce import CORPUS_SCHEMA, load_corpus_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("fuzz_*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    entry = load_corpus_entry(path)
+    assert entry["schema"] == CORPUS_SCHEMA
+    config = OracleConfig(pipelines=tuple(entry["pipelines"]))
+    with DifferentialOracle(config) as oracle:
+        report = oracle.check(
+            entry["source"],
+            inputs=entry["inputs"],
+            seed=entry.get("seed", 0),
+        )
+    assert report.ok, "\n".join(report.describe())
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_is_well_formed(path):
+    entry = load_corpus_entry(path)
+    assert entry["source"].startswith("module ")
+    assert all(isinstance(v, (int, float)) for v in entry["inputs"])
+    assert set(entry["kinds"]) <= {
+        "digest", "diagnostic", "semantic", "crash"
+    }

@@ -302,3 +302,44 @@ def test_schedule_resource_and_drain_invariants(source):
 
 def _is_pipelined_label(label: str) -> bool:
     return ".pl." in label
+
+
+# ---------------------------------------------------------------------------
+# The seeded fuzz generator: every output is a valid module
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("block", range(4))
+def test_fuzz_generator_emits_valid_modules(block):
+    """200 consecutive seeds (50 per block, across size classes) all
+    parse and pass semantic checks — the generator's validity contract
+    for the differential oracle."""
+    from repro.fuzz import config_for_size_class, generate_program
+    from repro.lang.parser import parse_text
+    from repro.lang.sema import check_module
+
+    size_class = ("tiny", "small", "medium", "small")[block]
+    config = config_for_size_class(size_class)
+    for seed in range(block * 50, block * 50 + 50):
+        program = generate_program(seed, config)
+        sink = DiagnosticSink()
+        module = parse_text(program.source, sink)
+        assert not sink.has_errors, (
+            f"{size_class} seed {seed} failed to parse:\n{sink.render()}"
+        )
+        check_module(module, sink)
+        assert not sink.has_errors, (
+            f"{size_class} seed {seed} failed sema:\n{sink.render()}"
+        )
+        assert len(program.inputs()) == program.stream_arity
+
+
+def test_fuzz_generator_inputs_match_receive_count():
+    """The generated input vector always satisfies main's receives, so
+    the reference interpreter never starves."""
+    from repro.fuzz import generate_program
+
+    for seed in range(20):
+        program = generate_program(seed)
+        module, _ = parse_ok(program.source)
+        interpret_module(module, program.inputs())  # must not trap
