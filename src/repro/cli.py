@@ -10,6 +10,10 @@ Subcommands:
 - ``warpcc bench SIZE N``: the paper's S_n experiment for one point —
   compile, replay both compilers on the simulated workstation network,
   print speedup and overhead decomposition.
+- ``warpcc serve``: run the multi-tenant compile service (one shared
+  warm pool + artifact cache, fair-share scheduling across tenants).
+- ``warpcc submit FILE`` / ``warpcc status``: client side of the
+  service — submit modules, stream progress, inspect the shared pool.
 """
 
 from __future__ import annotations
@@ -103,6 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--emit",
         choices=("report", "digest", "driver", "binary"),
         default="report",
+    )
+    compile_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the compilation report as one JSON document "
+        "(job digest, per-function metrics, cache/supervisor counters) "
+        "instead of the text report",
     )
     compile_cmd.add_argument(
         "-o", "--output", default=None,
@@ -214,6 +224,114 @@ def _build_parser() -> argparse.ArgumentParser:
         help="TESTING ONLY: perturb the named pipeline's digest when the "
         "module defines FUNCTION, to exercise catch/minimize/corpus",
     )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the multi-tenant compile service over one shared "
+        "warm pool (JSON-lines protocol; see 'warpcc submit')",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="warm-pool worker processes (default: cores-1)",
+    )
+    serve_cmd.add_argument(
+        "--max-queued", type=int, default=32,
+        help="admission bound: queued jobs beyond this are rejected "
+        "with explicit backpressure (default 32)",
+    )
+    serve_cmd.add_argument(
+        "--max-running", type=int, default=4,
+        help="concurrent compile jobs (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--per-tenant", type=int, default=8, metavar="N",
+        help="per-tenant in-flight job cap (default 8)",
+    )
+    serve_cmd.add_argument(
+        "--tenant-weight", action="append", default=[],
+        metavar="TENANT=WEIGHT",
+        help="fair-share weight for a tenant (repeatable; default 1.0)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared artifact-cache directory "
+        "(default: $WARPCC_CACHE_DIR or ~/.cache/warpcc)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared artifact cache",
+    )
+    serve_cmd.add_argument(
+        "--supervised", action="store_true",
+        help="wrap the shared pool in the supervision layer "
+        "(deadlines, hedging, quarantine, poison isolation)",
+    )
+    serve_cmd.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="fixed per-attempt deadline for --supervised",
+    )
+    serve_cmd.add_argument(
+        "--hedge-after", type=float, default=0.75, metavar="FRACTION",
+        help="straggler hedging threshold for --supervised (0 disables)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit a module to a running compile service"
+    )
+    submit_cmd.add_argument("file", help="source file (or '-' for stdin)")
+    submit_cmd.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="service address (default: $WARPCC_SERVICE)",
+    )
+    submit_cmd.add_argument(
+        "--tenant", default="default", help="tenant identity for fair share"
+    )
+    submit_cmd.add_argument(
+        "--priority", default="normal",
+        choices=("interactive", "normal", "batch"),
+    )
+    submit_cmd.add_argument(
+        "-O", "--opt-level", type=int, default=2, choices=(0, 1, 2)
+    )
+    submit_cmd.add_argument("--cells", type=int, default=10)
+    submit_cmd.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting",
+    )
+    submit_cmd.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the streamed per-function progress events",
+    )
+    submit_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the final job document as JSON",
+    )
+
+    status_cmd = sub.add_parser(
+        "status", help="inspect a running compile service"
+    )
+    status_cmd.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="service address (default: $WARPCC_SERVICE)",
+    )
+    status_cmd.add_argument(
+        "--job", default=None, help="show one job instead of the overview"
+    )
+    status_cmd.add_argument(
+        "--gantt", action="store_true",
+        help="render shared-pool occupancy (slots x time, one glyph "
+        "per job)",
+    )
+    status_cmd.add_argument(
+        "--json", action="store_true", help="print the raw JSON reply"
+    )
     return parser
 
 
@@ -285,18 +403,44 @@ def _cmd_compile(args) -> int:
                     max_attempts=args.max_attempts,
                     poison_threshold=args.poison_threshold,
                 )
-            result = ParallelCompiler(
+            with ParallelCompiler(
                 backend=backend, array=array, opt_level=args.opt_level,
-                cache=cache,
-            ).compile(source, filename=args.file)
+                cache=cache, owns_backend=True,
+            ) as compiler:
+                result = compiler.compile(source, filename=args.file)
         else:
             result = SequentialCompiler(
                 array=array, opt_level=args.opt_level
             ).compile(source, filename=args.file)
     except CompileError as error:
-        for diagnostic in error.diagnostics:
-            print(diagnostic.render(), file=sys.stderr)
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "ok": False,
+                "diagnostics": [
+                    diagnostic.render() for diagnostic in error.diagnostics
+                ],
+            }, indent=2))
+        else:
+            for diagnostic in error.diagnostics:
+                print(diagnostic.render(), file=sys.stderr)
         return 1
+
+    if args.json:
+        import json
+
+        document = result.to_dict()
+        document["ok"] = not result.profile.failed_functions()
+        if cache is not None:
+            stats = cache.stats
+            document["artifact_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "bytes_on_disk": cache.size_bytes(),
+            }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if result.profile.failed_functions() else 0
 
     if result.diagnostics_text:
         print(result.diagnostics_text, file=sys.stderr)
@@ -435,7 +579,9 @@ def _cmd_bench_live(args, source: str) -> int:
                 tempfile.TemporaryDirectory(prefix="warpcc-bench-cache-")
             )
             cache = ArtifactCache(cache_dir)
-        compiler = ParallelCompiler(backend=backend, cache=cache)
+        compiler = ParallelCompiler(
+            backend=backend, cache=cache, owns_backend=True
+        )
 
         walls = []
         result = None
@@ -445,8 +591,7 @@ def _cmd_bench_live(args, source: str) -> int:
                 result = compiler.compile(source)
                 walls.append(time.perf_counter() - start)
         finally:
-            if hasattr(backend, "shutdown"):
-                backend.shutdown()
+            compiler.close()
 
         matches = result.digest == sequential.digest
         print(f"workload: {args.functions} x f_{args.size} "
@@ -559,6 +704,182 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _parse_tenant_weights(entries: List[str]) -> dict:
+    weights = {}
+    for entry in entries:
+        name, sep, value = entry.partition("=")
+        if not sep or not name.strip():
+            raise ValueError(
+                f"--tenant-weight expects TENANT=WEIGHT, got {entry!r}"
+            )
+        weights[name.strip()] = float(value)
+    return weights
+
+
+def _cmd_serve(args) -> int:
+    from .parallel.warm_pool import WarmPoolBackend
+    from .service import CompileService, ServiceSocketServer
+    from .service.client import ADDRESS_ENV
+
+    try:
+        weights = _parse_tenant_weights(args.tenant_weight)
+    except ValueError as error:
+        print(f"warpcc: {error}", file=sys.stderr)
+        return 2
+
+    pool = WarmPoolBackend(max_workers=args.workers)
+    backend = pool
+    if args.supervised:
+        from .parallel.supervisor import SupervisedBackend
+
+        backend = SupervisedBackend(
+            pool,
+            task_timeout=args.task_timeout,
+            hedge_after=(
+                args.hedge_after if args.hedge_after > 0 else None
+            ),
+        )
+    try:
+        cache = _build_cache(args)
+        service = CompileService(
+            backend,
+            cache,
+            max_queued=args.max_queued,
+            max_running=args.max_running,
+            per_tenant_inflight=args.per_tenant,
+            tenant_weights=weights,
+        )
+        server = ServiceSocketServer(
+            service, host=args.host, port=args.port
+        )
+        print(
+            f"warpcc service on {server.address} "
+            f"({service.worker_count} worker(s), "
+            f"max {args.max_running} concurrent job(s)); "
+            f"clients: warpcc submit --connect {server.address} "
+            f"or export {ADDRESS_ENV}={server.address}",
+            flush=True,
+        )
+        server.serve_until_shutdown()
+        return 0
+    finally:
+        # The service borrows the backend (see driver ownership rules);
+        # the process that built the pool tears it down.
+        pool.shutdown()
+
+
+def _format_event(event: dict) -> str:
+    name = event.get("event", "?")
+    parts = [f"[{event.get('job', '?')}] {name}"]
+    if "function" in event:
+        parts.append(event["function"])
+    if "tasks" in event:
+        parts.append(f"({event['tasks']} task(s))")
+    return " ".join(parts)
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError, resolve_address
+
+    source = _read_source(args.file)
+    try:
+        client = ServiceClient(resolve_address(args.connect))
+        job_id = client.submit(
+            source,
+            tenant=args.tenant,
+            filename=args.file,
+            priority=args.priority,
+            opt_level=args.opt_level,
+            cells=args.cells,
+        )
+        if args.no_wait:
+            print(job_id)
+            return 0
+
+        def on_event(event: dict) -> None:
+            print(_format_event(event), file=sys.stderr)
+
+        job = client.wait(
+            job_id,
+            stream=not args.quiet,
+            on_event=None if args.quiet else on_event,
+        )
+    except ServiceError as error:
+        print(f"warpcc: {error} [{error.reason}]", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"warpcc: service unreachable: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0 if job.get("state") == "done" else 1
+    state = job.get("state")
+    if state != "done":
+        print(f"warpcc: job {job_id} {state}: {job.get('error')}",
+              file=sys.stderr)
+        diagnostics = job.get("diagnostics")
+        if diagnostics:
+            print(diagnostics, file=sys.stderr)
+        return 1
+    print(job["digest"])
+    print(
+        f"job {job_id}: {job['tasks_done']}/{job['tasks_total']} "
+        f"function(s) compiled, {job['cache_served']} served from cache",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError, resolve_address
+
+    try:
+        client = ServiceClient(resolve_address(args.connect))
+        reply = client.status(args.job, gantt=args.gantt)
+    except ServiceError as error:
+        print(f"warpcc: {error} [{error.reason}]", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"warpcc: service unreachable: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    if args.job is not None:
+        job = reply["job"]
+        print(f"job {job['job']}: {job['state']} "
+              f"(tenant {job['tenant']}, priority {job['priority']})")
+        print(f"  tasks: {job['tasks_done']}/{job['tasks_total']} done, "
+              f"{job['cache_served']} from cache")
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        if job.get("digest"):
+            print(f"  digest: {job['digest'].splitlines()[0]} ...")
+    else:
+        stats = reply["stats"]
+        print(
+            f"service: {stats['submitted']} submitted, "
+            f"{stats['done']} done, {stats['failed']} failed, "
+            f"{stats['cancelled']} cancelled, "
+            f"{stats['rejected']} rejected; "
+            f"utilization {stats['utilization']:.0%} "
+            f"over {stats['workers']} worker(s)"
+        )
+        for job in reply["jobs"]:
+            print(f"  {job['job']}: {job['state']:9s} "
+                  f"tenant={job['tenant']} "
+                  f"{job['tasks_done']}/{job['tasks_total']} tasks")
+    if args.gantt and reply.get("gantt"):
+        print(reply["gantt"])
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from .asmlink.encode import FormatError, read_module
 
@@ -581,6 +902,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_disasm(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     return _cmd_bench(args)
 
 

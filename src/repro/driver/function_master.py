@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -103,6 +104,9 @@ _phase1_cache: "OrderedDict[Tuple[str, str], ParsedProgram]" = OrderedDict()
 _phase1_capacity: int = _default_phase1_capacity()
 _phase1_hits: int = 0
 _phase1_misses: int = 0
+#: The compile service runs many job threads in one process, all sharing
+#: this cache; LRU bookkeeping (move_to_end + eviction) must not race.
+_phase1_lock = threading.Lock()
 
 
 def configure_phase1_cache(capacity: int) -> None:
@@ -110,17 +114,19 @@ def configure_phase1_cache(capacity: int) -> None:
     global _phase1_capacity
     if capacity < 1:
         raise ValueError(f"cache capacity must be positive, got {capacity}")
-    _phase1_capacity = capacity
-    while len(_phase1_cache) > _phase1_capacity:
-        _phase1_cache.popitem(last=False)
+    with _phase1_lock:
+        _phase1_capacity = capacity
+        while len(_phase1_cache) > _phase1_capacity:
+            _phase1_cache.popitem(last=False)
 
 
 def clear_phase1_cache() -> None:
     """Drop all cached parses and reset the hit/miss counters."""
     global _phase1_hits, _phase1_misses
-    _phase1_cache.clear()
-    _phase1_hits = 0
-    _phase1_misses = 0
+    with _phase1_lock:
+        _phase1_cache.clear()
+        _phase1_hits = 0
+        _phase1_misses = 0
 
 
 def phase1_cache_stats() -> Tuple[int, int]:
@@ -141,16 +147,21 @@ def phase1_cached(
         hashlib.sha256(source_text.encode("utf-8")).hexdigest(),
         filename,
     )
-    cached = _phase1_cache.get(key)
-    if cached is not None:
-        _phase1_cache.move_to_end(key)
-        _phase1_hits += 1
-        return cached, True
+    with _phase1_lock:
+        cached = _phase1_cache.get(key)
+        if cached is not None:
+            _phase1_cache.move_to_end(key)
+            _phase1_hits += 1
+            return cached, True
+    # Parse outside the lock: concurrent job threads parsing *different*
+    # modules must not serialize on each other.  Two threads racing the
+    # same module both parse; last writer wins, results are identical.
     parsed = phase1_parse_and_check(source_text, filename)
-    _phase1_misses += 1
-    _phase1_cache[key] = parsed
-    while len(_phase1_cache) > _phase1_capacity:
-        _phase1_cache.popitem(last=False)
+    with _phase1_lock:
+        _phase1_misses += 1
+        _phase1_cache[key] = parsed
+        while len(_phase1_cache) > _phase1_capacity:
+            _phase1_cache.popitem(last=False)
     return parsed, False
 
 

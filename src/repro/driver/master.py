@@ -13,12 +13,20 @@ cache (functions whose fingerprints hit never cross the process
 boundary), streams the remaining tasks through an execution backend while
 section masters recombine results as they arrive, and runs the sequential
 phase-4 tail.  The output is bit-identical to the sequential compiler's.
+
+Ownership: a compile never shuts down or reconfigures the backend or
+cache it was given — both may be shared with other compilers (the
+compile service multiplexes many concurrent compilations over one warm
+pool and one artifact cache).  Callers that *want* the compiler to tear
+its backend down with it pass ``owns_backend=True`` and use
+:meth:`ParallelCompiler.close` (or the context-manager form); a borrowed
+backend is left exactly as it was found.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..asmlink.download import module_digest, module_size_words
 from ..asmlink.objformat import ObjectFunction
@@ -31,6 +39,11 @@ from .phases import ParsedProgram, phase4_link_and_download
 from .results import CompilationResult, WorkProfile
 from .section_master import StreamingSectionCombiner
 
+#: A dispatch seam: takes the cache-miss tasks, yields their results in
+#: completion order.  The default routes through ``self.backend``; the
+#: compile service substitutes a fair-share queue feeding a shared pool.
+TaskDispatch = Callable[[List[FunctionTask]], Iterable[FunctionTaskResult]]
+
 
 class ParallelCompiler:
     """Master / section-master / function-master parallel compilation."""
@@ -42,6 +55,8 @@ class ParallelCompiler:
         opt_level: int = 2,
         granularity: str = "function",
         cache=None,
+        dispatch: Optional[TaskDispatch] = None,
+        owns_backend: bool = False,
     ):
         if granularity not in ("function", "section"):
             raise ValueError(
@@ -58,6 +73,31 @@ class ParallelCompiler:
         #: optional :class:`repro.cache.ArtifactCache`: phase-2/3 results
         #: are served from / written back to it, keyed per function.
         self.cache = cache
+        #: optional :data:`TaskDispatch` that replaces direct backend
+        #: dispatch — used by the compile service to interleave this
+        #: compile's tasks with other tenants' on one shared pool.
+        self.dispatch = dispatch
+        #: whether :meth:`close` may shut the backend down.  False for
+        #: caller-provided (possibly shared, possibly context-managed)
+        #: backends: closing a compiler must never tear down a pool it
+        #: does not own (the double-shutdown footgun).
+        self.owns_backend = owns_backend
+
+    def close(self) -> None:
+        """Release owned resources.  A borrowed backend is untouched;
+        an owned one is shut down (idempotently).  The artifact cache is
+        an on-disk store with no connection state — never closed here."""
+        if self.owns_backend:
+            shutdown = getattr(self.backend, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+
+    def __enter__(self) -> "ParallelCompiler":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
 
     def compile(
         self, source_text: str, filename: str = "<input>"
@@ -75,26 +115,37 @@ class ParallelCompiler:
         stats_before = (
             self.cache.stats.copy() if self.cache is not None else None
         )
-        supervision = getattr(self.backend, "supervision", None)
+        # With an external dispatch the backend is driven by someone else
+        # (the service's scheduler); its supervision counters aggregate
+        # many concurrent jobs, so no per-compile delta is attributable.
+        supervision = (
+            getattr(self.backend, "supervision", None)
+            if self.dispatch is None
+            else None
+        )
         supervision_before = (
             supervision.copy() if supervision is not None else None
         )
         misses, fingerprints = self._serve_from_cache(parsed, tasks, combiner)
         dispatched = bool(misses)
-        for result in stream_task_results(self.backend, misses) if misses else ():
+        for result in self._dispatch_misses(misses):
             if self.cache is not None:
                 self._write_back(fingerprints, result)
             combiner.add(result)
         combined = combiner.finalize()
 
+        if self.dispatch is not None:
+            dispatch_surface = self.dispatch
+        else:
+            dispatch_surface = self.backend
         profile = WorkProfile(
             parse_work=parsed.parse_work,
             sema_work=parsed.sema_work,
             source_lines=parsed.source_lines,
             workers_used=(
                 getattr(
-                    self.backend, "effective_worker_count",
-                    self.backend.worker_count,
+                    dispatch_surface, "effective_worker_count",
+                    getattr(dispatch_surface, "worker_count", 1),
                 )
                 if dispatched
                 # Everything came out of the artifact cache: the master
@@ -173,6 +224,16 @@ class ParallelCompiler:
             profile=profile,
             objects=all_objects,
         )
+
+    def _dispatch_misses(
+        self, misses: List[FunctionTask]
+    ) -> Iterable[FunctionTaskResult]:
+        """Run the cache-miss tasks through the dispatch seam."""
+        if not misses:
+            return ()
+        if self.dispatch is not None:
+            return self.dispatch(misses)
+        return stream_task_results(self.backend, misses)
 
     # -- artifact cache -------------------------------------------------
 

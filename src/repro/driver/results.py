@@ -51,6 +51,28 @@ class FunctionReport:
     def key(self) -> tuple:
         return (self.section_name, self.name)
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable view (``warpcc compile --json``, the compile
+        service's status protocol)."""
+        return {
+            "section": self.section_name,
+            "name": self.name,
+            "source_lines": self.source_lines,
+            "ir_instructions": self.ir_instructions,
+            "loop_weight": self.loop_weight,
+            "work_units": self.work_units,
+            "bundles": self.bundles,
+            "pipelined_loops": self.pipelined_loops,
+            "initiation_intervals": list(self.initiation_intervals),
+            "frame_words": self.frame_words,
+            "phase1_cache_hits": self.phase1_cache_hits,
+            "phase1_cache_misses": self.phase1_cache_misses,
+            "artifact_cache_hits": self.artifact_cache_hits,
+            "artifact_cache_misses": self.artifact_cache_misses,
+            "poisoned": self.poisoned,
+            "failed": self.failed,
+        }
+
 
 @dataclass
 class WorkProfile:
@@ -135,6 +157,34 @@ class WorkProfile:
             sections.setdefault(report.section_name, []).append(report)
         return sections
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable view of the profile and its counters."""
+        return {
+            "parse_work": self.parse_work,
+            "sema_work": self.sema_work,
+            "assembly_work": self.assembly_work,
+            "link_work": self.link_work,
+            "download_words": self.download_words,
+            "source_lines": self.source_lines,
+            "workers_used": self.workers_used,
+            "total_work": self.total_work(),
+            "function_work": self.function_work(),
+            "phase1_cache_hits": self.phase1_cache_hits(),
+            "phase1_cache_misses": self.phase1_cache_misses(),
+            "artifact_cache_hits": self.artifact_cache_hits(),
+            "artifact_cache_misses": self.artifact_cache_misses(),
+            "artifact_cache_evictions": self.artifact_cache_evictions,
+            "artifact_cache_corrupt": self.artifact_cache_corrupt,
+            "supervised": self.supervised,
+            "supervisor_timeouts": self.supervisor_timeouts,
+            "supervisor_hedges_won": self.supervisor_hedges_won,
+            "supervisor_quarantines": self.supervisor_quarantines,
+            "supervisor_poisoned_tasks": self.supervisor_poisoned_tasks,
+            "supervisor_degradations": self.supervisor_degradations,
+            "supervisor_corrupt_payloads": self.supervisor_corrupt_payloads,
+            "functions": [f.to_dict() for f in self.functions],
+        }
+
 
 @dataclass
 class CompilationResult:
@@ -177,3 +227,16 @@ class CompilationResult:
                 f"{self.profile.supervisor_corrupt_payloads} corrupt payload(s)"
             )
         return lines
+
+    def to_dict(self) -> Dict:
+        """Machine-readable report (``warpcc compile --json``): the job
+        digest, per-function metrics, cache and supervisor counters —
+        everything the text report says, parseable without scraping."""
+        return {
+            "module": self.module_name,
+            "digest": self.digest,
+            "diagnostics": self.diagnostics_text,
+            "download_cells": self.download.cells_used,
+            "download_words": self.profile.download_words,
+            "profile": self.profile.to_dict(),
+        }

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
 from concurrent.futures.process import BrokenProcessPool
 from typing import Iterator, List, Optional
 
@@ -63,6 +64,11 @@ class WarmPoolBackend:
         self._batches_per_worker = batches_per_worker
         self._crash_retries = crash_retries
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        #: guards pool creation/teardown — the compile service may reach
+        #: the farm from several threads (dispatcher, drain, telemetry);
+        #: without the lock two racing _ensure_pool calls would each
+        #: spawn an executor and leak one.
+        self._pool_lock = threading.Lock()
         self._last_effective_workers: Optional[int] = None
         #: telemetry: completed run_tasks calls / pools rebuilt after crash
         self.dispatches = 0
@@ -136,20 +142,23 @@ class WarmPoolBackend:
         return self._pool is not None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self._max_workers
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self._max_workers
+                )
+            return self._pool
 
     def _discard_pool(self) -> None:
-        pool, self._pool = self._pool, None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the farm.  The next ``run_tasks`` lazily restarts it."""
-        pool, self._pool = self._pool, None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
 

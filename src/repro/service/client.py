@@ -1,0 +1,185 @@
+"""Client for the compile service's JSON-lines protocol.
+
+``warpcc submit`` and ``warpcc status`` are thin wrappers around
+:class:`ServiceClient`.  Each request opens one connection (requests
+are independent; the server is threaded), sends one JSON line, and
+reads reply lines — ``wait`` with streaming yields per-function
+progress events before the final job document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Callable, Iterator, Optional, Tuple
+
+#: default service address, overridable per-invocation with --connect
+ADDRESS_ENV = "WARPCC_SERVICE"
+
+
+class ServiceError(Exception):
+    """The service replied ``ok: false`` (or the wire broke)."""
+
+    def __init__(self, message: str, reason: str = "error"):
+        super().__init__(message)
+        self.reason = reason
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port:
+        raise ValueError(
+            f"service address must be HOST:PORT, got {address!r}"
+        )
+    return host, int(port)
+
+
+def resolve_address(address: Optional[str]) -> str:
+    """Explicit address, else $WARPCC_SERVICE, else an error."""
+    if address:
+        return address
+    from_env = os.environ.get(ADDRESS_ENV)
+    if from_env:
+        return from_env
+    raise ServiceError(
+        "no service address: pass --connect HOST:PORT or set "
+        f"${ADDRESS_ENV} (the address 'warpcc serve' printed)",
+        reason="no-address",
+    )
+
+
+class ServiceClient:
+    """Talks to one ``warpcc serve`` endpoint."""
+
+    def __init__(self, address: str, timeout: Optional[float] = 30.0):
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+
+    # -- wire ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _request_lines(self, payload: dict) -> Iterator[dict]:
+        """Send one request; yield each reply line as a dict."""
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(
+                    (json.dumps(payload) + "\n").encode("utf-8")
+                )
+                stream.flush()
+                sock.shutdown(socket.SHUT_WR)
+                for raw in stream:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+
+    def _request(self, payload: dict) -> dict:
+        """Send one request; return the single (final) reply."""
+        reply = None
+        for reply in self._request_lines(payload):
+            pass
+        if reply is None:
+            raise ServiceError("connection closed without a reply")
+        return self._checked(reply)
+
+    @staticmethod
+    def _checked(reply: dict) -> dict:
+        if not reply.get("ok"):
+            raise ServiceError(
+                reply.get("error", "service error"),
+                reason=reply.get("reason", "error"),
+            )
+        return reply
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})
+
+    def submit(
+        self,
+        source: str,
+        *,
+        tenant: str = "default",
+        filename: str = "<input>",
+        priority: str = "normal",
+        opt_level: int = 2,
+        cells: int = 10,
+    ) -> str:
+        """Submit a module; returns the job id (raises
+        :class:`ServiceError` with the admission reason on rejection)."""
+        reply = self._request(
+            {
+                "op": "submit",
+                "source": source,
+                "tenant": tenant,
+                "filename": filename,
+                "priority": priority,
+                "opt_level": opt_level,
+                "cells": cells,
+            }
+        )
+        return reply["job"]
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        stream: bool = False,
+        on_event: Optional[Callable[[dict], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Block until the job is terminal; returns its final document.
+
+        With ``stream=True`` every lifecycle event ("started",
+        "function_done", ...) is passed to ``on_event`` as it happens —
+        the per-function progress feed ``run_tasks_streaming`` gives the
+        in-process master, re-exported over the wire.
+        """
+        request = {"op": "wait", "job": job_id, "stream": stream}
+        if timeout is not None:
+            request["timeout"] = timeout
+        final = None
+        for reply in self._request_lines(request):
+            self._checked(reply)
+            if "event" in reply:
+                if on_event is not None:
+                    on_event(reply["event"])
+                continue
+            final = reply
+        if final is None:
+            raise ServiceError("connection closed before job finished")
+        return final["job"]
+
+    def submit_and_wait(self, source: str, **kwargs) -> dict:
+        on_event = kwargs.pop("on_event", None)
+        timeout = kwargs.pop("timeout", None)
+        job_id = self.submit(source, **kwargs)
+        return self.wait(
+            job_id,
+            stream=on_event is not None,
+            on_event=on_event,
+            timeout=timeout,
+        )
+
+    def status(
+        self,
+        job_id: Optional[str] = None,
+        *,
+        gantt: bool = False,
+        width: int = 72,
+    ) -> dict:
+        request = {"op": "status", "gantt": gantt, "width": width}
+        if job_id is not None:
+            request["job"] = job_id
+        return self._request(request)
+
+    def cancel(self, job_id: str) -> bool:
+        return self._request({"op": "cancel", "job": job_id})["cancelled"]
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self._request({"op": "shutdown", "drain": drain})

@@ -1,0 +1,246 @@
+"""Seeded open-loop load generator for the compile service.
+
+Open loop means arrivals do not wait for completions: the generator
+draws a Poisson arrival schedule, a tenant, a priority, and a workload
+size for every job up front from one seeded RNG, then submits on that
+schedule regardless of how the service is keeping up — which is what
+exposes queueing behavior (admission rejections, p95 latency growth)
+that closed-loop drivers structurally cannot see.
+
+The plan (:func:`plan_load`) is a pure function of the spec, so two
+runs with the same seed submit byte-identical modules in the same
+order at the same offsets; only service timing varies.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..workloads.sizes import SIZE_CLASSES
+from ..workloads.synthetic import synthetic_program
+from .server import AdmissionError, CompileService
+
+
+@dataclass
+class LoadSpec:
+    """What to throw at the service."""
+
+    seed: int = 0
+    jobs: int = 16
+    #: mean arrival rate (jobs/second); exponential inter-arrivals
+    arrival_rate: float = 6.0
+    #: tenant name -> sampling weight (who submits)
+    tenants: Dict[str, float] = field(
+        default_factory=lambda: {"alice": 1.0, "bob": 1.0}
+    )
+    #: size class -> sampling weight (how big the module is)
+    size_mix: Dict[str, float] = field(
+        default_factory=lambda: {"tiny": 0.6, "small": 0.3, "medium": 0.1}
+    )
+    #: size class -> functions per module
+    functions_by_size: Dict[str, int] = field(
+        default_factory=lambda: {
+            "tiny": 6,
+            "small": 4,
+            "medium": 2,
+            "large": 2,
+            "huge": 1,
+        }
+    )
+    #: priority class -> sampling weight
+    priority_mix: Dict[str, float] = field(
+        default_factory=lambda: {"normal": 1.0}
+    )
+    opt_level: int = 2
+    cells: int = 10
+
+    def validate(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"need at least one job, got {self.jobs}")
+        if self.arrival_rate <= 0:
+            raise ValueError(
+                f"arrival rate must be positive, got {self.arrival_rate}"
+            )
+        for size in self.size_mix:
+            if size not in SIZE_CLASSES:
+                raise KeyError(f"unknown size class {size!r}")
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """One pre-drawn arrival."""
+
+    index: int
+    at: float  # seconds after the run starts
+    tenant: str
+    priority: str
+    size_class: str
+    n_functions: int
+    module_name: str
+    source: str
+
+
+def _weighted_choice(rng: random.Random, mix: Dict[str, float]) -> str:
+    names = sorted(mix)
+    weights = [mix[name] for name in names]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+def plan_load(spec: LoadSpec) -> List[PlannedJob]:
+    """Draw the full arrival schedule (deterministic in the seed)."""
+    spec.validate()
+    rng = random.Random(spec.seed)
+    plan: List[PlannedJob] = []
+    clock = 0.0
+    for index in range(spec.jobs):
+        clock += rng.expovariate(spec.arrival_rate)
+        tenant = _weighted_choice(rng, spec.tenants)
+        priority = _weighted_choice(rng, spec.priority_mix)
+        size_class = _weighted_choice(rng, spec.size_mix)
+        n_functions = spec.functions_by_size.get(size_class, 2)
+        module_name = f"load_{spec.seed}_{index}_{size_class}"
+        plan.append(
+            PlannedJob(
+                index=index,
+                at=clock,
+                tenant=tenant,
+                priority=priority,
+                size_class=size_class,
+                n_functions=n_functions,
+                module_name=module_name,
+                source=synthetic_program(
+                    size_class, n_functions, module_name=module_name
+                ),
+            )
+        )
+    return plan
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-q * len(sorted_values) // 1)  # ceil(q * n)
+    rank = min(len(sorted_values), max(1, int(rank)))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class LoadReport:
+    """Throughput/latency outcome of one load-generation run."""
+
+    spec_seed: int
+    jobs_planned: int
+    jobs_completed: int
+    jobs_failed: int
+    jobs_rejected: int
+    elapsed: float
+    throughput: float  # completed jobs / second
+    latency_p50: float
+    latency_p95: float
+    latency_mean: float
+    queue_wait_p50: float
+    queue_wait_p95: float
+    pool_utilization: float
+    workers: int
+    per_tenant_completed: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.spec_seed,
+            "jobs_planned": self.jobs_planned,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_rejected": self.jobs_rejected,
+            "elapsed_s": round(self.elapsed, 6),
+            "throughput_jobs_per_s": round(self.throughput, 4),
+            "latency_p50_s": round(self.latency_p50, 6),
+            "latency_p95_s": round(self.latency_p95, 6),
+            "latency_mean_s": round(self.latency_mean, 6),
+            "queue_wait_p50_s": round(self.queue_wait_p50, 6),
+            "queue_wait_p95_s": round(self.queue_wait_p95, 6),
+            "pool_utilization": round(self.pool_utilization, 4),
+            "workers": self.workers,
+            "per_tenant_completed": dict(
+                sorted(self.per_tenant_completed.items())
+            ),
+        }
+
+
+def run_load(
+    service: CompileService,
+    spec: LoadSpec,
+    *,
+    time_scale: float = 1.0,
+    wait_timeout: Optional[float] = 300.0,
+) -> LoadReport:
+    """Drive ``service`` with the spec's arrival schedule and measure.
+
+    ``time_scale`` compresses the schedule (0.5 = twice as fast) so
+    benchmarks can sweep offered load without changing the seed's draw
+    sequence.  Rejected submissions (admission control) are counted and
+    skipped — open loop never retries.
+    """
+    plan = plan_load(spec)
+    start = time.monotonic()
+    submitted: List[tuple] = []  # (PlannedJob, job_id)
+    rejected = 0
+    for planned in plan:
+        target = start + planned.at * time_scale
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            job_id = service.submit(
+                planned.source,
+                tenant=planned.tenant,
+                filename=f"{planned.module_name}.w2",
+                priority=planned.priority,
+                opt_level=spec.opt_level,
+                cells=spec.cells,
+            )
+        except AdmissionError:
+            rejected += 1
+            continue
+        submitted.append((planned, job_id))
+
+    latencies: List[float] = []
+    queue_waits: List[float] = []
+    per_tenant: Dict[str, int] = {}
+    failed = 0
+    for planned, job_id in submitted:
+        job = service.wait(job_id, timeout=wait_timeout)
+        if job.state != "done":
+            failed += 1
+            continue
+        latencies.append(job.finished_at - job.submitted_at)
+        if job.started_at is not None:
+            queue_waits.append(job.started_at - job.submitted_at)
+        per_tenant[planned.tenant] = per_tenant.get(planned.tenant, 0) + 1
+    elapsed = time.monotonic() - start
+
+    latencies.sort()
+    queue_waits.sort()
+    return LoadReport(
+        spec_seed=spec.seed,
+        jobs_planned=len(plan),
+        jobs_completed=len(latencies),
+        jobs_failed=failed,
+        jobs_rejected=rejected,
+        elapsed=elapsed,
+        throughput=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        latency_p50=_percentile(latencies, 0.50),
+        latency_p95=_percentile(latencies, 0.95),
+        latency_mean=(
+            statistics.fmean(latencies) if latencies else 0.0
+        ),
+        queue_wait_p50=_percentile(queue_waits, 0.50),
+        queue_wait_p95=_percentile(queue_waits, 0.95),
+        pool_utilization=service.pool_utilization(),
+        workers=service.worker_count,
+        per_tenant_completed=per_tenant,
+    )

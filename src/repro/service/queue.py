@@ -1,0 +1,294 @@
+"""Weighted fair-share job queue for the compile service.
+
+The scheduling unit is the *function task*, not the job: when several
+modules are being compiled at once, their per-function tasks are
+interleaved onto the shared pool so one huge module cannot monopolize
+the farm — the paper's §4.3 observation that small functions should
+share processors, replayed across whole jobs.  The interleaving is
+driven by the same cost estimate the paper's scheduler uses ("lines of
+code and loop nesting", §4.3): every task carries its
+:func:`~repro.parallel.schedule.ast_cost_hint`, and dispatching a task
+advances its tenant's *virtual time* by ``cost / weight`` (stride
+scheduling).  The next task always comes from the tenant with the least
+virtual time, so:
+
+- tenants receive pool share proportional to their weights;
+- a tenant burning huge tasks accumulates virtual time quickly and
+  yields the next slots to tenants with small tasks — a tiny job lands
+  in the very next wave, bounded by one wave's latency, never by the
+  huge job's total runtime;
+- within one tenant, the same accounting runs per *job*, so a tenant's
+  own tiny job overtakes its huge one too.
+
+Priority classes are strict: while any ``interactive`` task is pending,
+no ``normal`` or ``batch`` task is dispatched (and so on down).  Within
+a class, fair share applies.  All tie-breaks use arrival sequence
+numbers, so the dispatch order is a pure function of the enqueue
+history — seeded tests replay it exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..driver.function_master import FunctionTask, phase1_cached
+
+#: Strict-priority classes, most urgent first.
+PRIORITY_CLASSES: Tuple[str, ...] = ("interactive", "normal", "batch")
+
+#: (section, function) pairs a task's results will carry — the routing
+#: key between the shared dispatcher and the job that owns the task.
+ResultKey = Tuple[str, str]
+
+
+def priority_index(priority: str) -> int:
+    """Validate and rank a priority-class name."""
+    try:
+        return PRIORITY_CLASSES.index(priority)
+    except ValueError:
+        raise ValueError(
+            f"unknown priority {priority!r}; "
+            f"choose from {list(PRIORITY_CLASSES)}"
+        ) from None
+
+
+def result_keys_for_task(task: FunctionTask) -> Tuple[ResultKey, ...]:
+    """The (section, function) result keys ``task`` will produce.
+
+    A function-level task yields exactly one result; a section-level
+    task (``function_name is None``) yields one per function of the
+    section.  The parse comes from the process-wide phase-1 cache — the
+    job's master parsed the same source moments ago, so this is a hit.
+    """
+    if task.function_name is not None:
+        return ((task.section_name, task.function_name),)
+    parsed, _ = phase1_cached(task.source_text, task.filename)
+    section = parsed.module.section_named(task.section_name)
+    if section is None:  # pragma: no cover - master validated earlier
+        raise KeyError(f"no section named {task.section_name!r}")
+    return tuple((task.section_name, fn.name) for fn in section.functions)
+
+
+@dataclass(frozen=True)
+class QueuedTask:
+    """One function task waiting for a pool slot."""
+
+    job_id: str
+    tenant: str
+    priority: int  # index into PRIORITY_CLASSES
+    task: FunctionTask
+    cost: float
+    seq: int  # global arrival order (tie-break and determinism anchor)
+    result_keys: Tuple[ResultKey, ...]
+
+
+class _JobQueue:
+    """Per-job FIFO plus the job-level fair-share account."""
+
+    __slots__ = ("tenant", "priority", "seq", "vtime", "tasks")
+
+    def __init__(self, tenant: str, priority: int, seq: int, vtime: float):
+        self.tenant = tenant
+        self.priority = priority
+        self.seq = seq
+        self.vtime = vtime
+        self.tasks: Deque[QueuedTask] = deque()
+
+
+class FairShareQueue:
+    """Two-level (tenant, then job) weighted stride scheduler.
+
+    Thread-safe; every method takes the internal lock.  Dispatch order
+    is deterministic given the enqueue history: selection ties break on
+    names and arrival sequence numbers, never on wall clock or hashing.
+    """
+
+    def __init__(
+        self,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        default_weight: float = 1.0,
+        min_cost: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ValueError(
+                f"default weight must be positive, got {default_weight}"
+            )
+        if min_cost <= 0:
+            raise ValueError(f"min cost must be positive, got {min_cost}")
+        self._lock = threading.Lock()
+        self._weights: Dict[str, float] = {}
+        for tenant, weight in (tenant_weights or {}).items():
+            self._check_weight(weight)
+            self._weights[tenant] = weight
+        self._default_weight = default_weight
+        self._min_cost = min_cost
+        #: insertion-ordered so iteration (and thus selection scans) are
+        #: reproducible regardless of string hash randomization.
+        self._jobs: "OrderedDict[str, _JobQueue]" = OrderedDict()
+        self._tenant_vtime: Dict[str, float] = {}
+        #: virtual time of the most recent dispatch — the floor newly
+        #: activating tenants/jobs start from, so an idle tenant neither
+        #: banks credit nor gets punished for having been idle.
+        self._vfloor = 0.0
+        self._seq = 0
+        #: total tasks dispatched (telemetry)
+        self.dispatched = 0
+
+    @staticmethod
+    def _check_weight(weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {weight}")
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        self._check_weight(weight)
+        with self._lock:
+            self._weights[tenant] = weight
+
+    def weight_of(self, tenant: str) -> float:
+        with self._lock:
+            return self._weights.get(tenant, self._default_weight)
+
+    # -- enqueue -------------------------------------------------------
+
+    def enqueue(
+        self,
+        job_id: str,
+        tenant: str,
+        priority: int,
+        tasks: Sequence[Tuple[FunctionTask, Tuple[ResultKey, ...]]],
+    ) -> int:
+        """Add a job's tasks (in compile order); returns tasks queued."""
+        if not 0 <= priority < len(PRIORITY_CLASSES):
+            raise ValueError(f"priority index out of range: {priority}")
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                # Activation: start from the dispatch floor, keeping any
+                # higher personal vtime (re-activation cannot reset debt).
+                tenant_vtime = max(
+                    self._tenant_vtime.get(tenant, 0.0), self._vfloor
+                )
+                self._tenant_vtime[tenant] = tenant_vtime
+                job = _JobQueue(tenant, priority, self._seq, tenant_vtime)
+                self._jobs[job_id] = job
+            elif job.tenant != tenant:
+                raise ValueError(
+                    f"job {job_id!r} already enqueued for tenant "
+                    f"{job.tenant!r}, not {tenant!r}"
+                )
+            count = 0
+            for task, keys in tasks:
+                job.tasks.append(
+                    QueuedTask(
+                        job_id=job_id,
+                        tenant=tenant,
+                        priority=priority,
+                        task=task,
+                        cost=max(float(task.cost_hint), self._min_cost),
+                        seq=self._seq,
+                        result_keys=tuple(keys),
+                    )
+                )
+                self._seq += 1
+                count += 1
+            if not job.tasks:
+                del self._jobs[job_id]
+            return count
+
+    # -- dispatch ------------------------------------------------------
+
+    def next_wave(self, max_tasks: int) -> List[QueuedTask]:
+        """Select up to ``max_tasks`` tasks for one dispatch wave.
+
+        Selection repeats: take the best-priority class with pending
+        tasks, the least-virtual-time tenant in it, that tenant's
+        least-virtual-time job, and the job's next task in compile
+        order.  Result keys are unique within the wave — a task whose
+        key collides with one already selected stays queued (its whole
+        job is deferred to the next wave, preserving per-job task
+        order), because the shared pool routes results back to jobs by
+        (section, function) and the supervisor dedupes by the same key.
+        """
+        if max_tasks < 1:
+            raise ValueError(f"need at least one task, got {max_tasks}")
+        with self._lock:
+            wave: List[QueuedTask] = []
+            used_keys: set = set()
+            blocked: set = set()
+            while len(wave) < max_tasks:
+                choice = self._select(blocked)
+                if choice is None:
+                    break
+                job_id, job = choice
+                head = job.tasks[0]
+                if any(key in used_keys for key in head.result_keys):
+                    blocked.add(job_id)
+                    continue
+                job.tasks.popleft()
+                wave.append(head)
+                used_keys.update(head.result_keys)
+                weight = self._weights.get(
+                    job.tenant, self._default_weight
+                )
+                self._vfloor = self._tenant_vtime[job.tenant]
+                self._tenant_vtime[job.tenant] += head.cost / weight
+                job.vtime += head.cost
+                self.dispatched += 1
+                if not job.tasks:
+                    del self._jobs[job_id]
+            return wave
+
+    def _select(self, blocked: set) -> Optional[Tuple[str, _JobQueue]]:
+        """The (job_id, job) the scheduler picks next, or None."""
+        best_priority = None
+        for job_id, job in self._jobs.items():
+            if job_id in blocked or not job.tasks:
+                continue
+            if best_priority is None or job.priority < best_priority:
+                best_priority = job.priority
+        if best_priority is None:
+            return None
+        chosen: Optional[Tuple[str, _JobQueue]] = None
+        chosen_rank = None
+        for job_id, job in self._jobs.items():
+            if (
+                job_id in blocked
+                or not job.tasks
+                or job.priority != best_priority
+            ):
+                continue
+            rank = (
+                self._tenant_vtime[job.tenant],
+                job.tenant,
+                job.vtime,
+                job.seq,
+            )
+            if chosen_rank is None or rank < chosen_rank:
+                chosen, chosen_rank = (job_id, job), rank
+        return chosen
+
+    # -- maintenance ---------------------------------------------------
+
+    def discard_job(self, job_id: str) -> int:
+        """Drop a job's remaining tasks (cancellation); returns count."""
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            if job is None:
+                return 0
+            return len(job.tasks)
+
+    def has_pending(self) -> bool:
+        with self._lock:
+            return bool(self._jobs)
+
+    def pending_tasks(self) -> int:
+        with self._lock:
+            return sum(len(job.tasks) for job in self._jobs.values())
+
+    def pending_for(self, job_id: str) -> int:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return len(job.tasks) if job is not None else 0

@@ -1,0 +1,921 @@
+"""The compile service: admission, job lifecycle, shared-pool dispatch.
+
+Architecture (one process, many threads)::
+
+    submit ──▶ admission control ──▶ job queue (per-priority FIFO)
+                 │ bounded depth           │
+                 │ per-tenant cap          ▼
+                 ▼                   runner threads (max_running)
+               reject                 one ParallelCompiler per job
+                                      phase 1 + cache serve + phase 4
+                                           │ cache-miss tasks
+                                           ▼
+                                  FairShareQueue (tenant/job stride)
+                                           │ waves of ≤ wave_size
+                                           ▼
+                                  dispatcher thread ─▶ ONE shared
+                                  backend (warm pool, possibly
+                                  supervised) ─▶ results routed back
+                                  to their jobs by (section, function)
+
+Every job is an ordinary :class:`~repro.driver.master.ParallelCompiler`
+compile, run in a runner thread with a *dispatch seam* that detours its
+cache-miss tasks through the shared fair-share queue instead of a
+private backend.  Per-job state (WorkProfile, combiner, diagnostics)
+therefore stays isolated by construction; only pool slots and the
+artifact cache are shared.  The pool backend is used exclusively by the
+dispatcher thread, one wave at a time, through the same
+``run_tasks_streaming`` surface every other caller uses — wrapping the
+pool in :class:`~repro.parallel.supervisor.SupervisedBackend` works
+unchanged, and supervision (deadlines, hedging, quarantine) then applies
+per wave across all tenants' tasks.
+
+Backpressure is explicit: a full queue or a tenant over its in-flight
+cap raises :class:`AdmissionError` (the socket protocol maps it to an
+``ok: false`` reply with a ``reason``) — the service never buffers
+unboundedly and never silently drops a job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue as queue_mod
+import socketserver
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..driver.function_master import FunctionTask, FunctionTaskResult
+from ..driver.master import ParallelCompiler
+from ..driver.results import CompilationResult
+from ..lang.diagnostics import CompileError
+from ..machine.warp_array import WarpArrayModel
+from ..metrics.job_gantt import JobSpan, render_job_gantt, slot_utilization
+from ..parallel.backend import stream_task_results
+from .queue import (
+    FairShareQueue,
+    QueuedTask,
+    priority_index,
+    result_keys_for_task,
+)
+
+#: job lifecycle states (terminal: done/failed/cancelled)
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+_TERMINAL = frozenset(("done", "failed", "cancelled"))
+
+
+class AdmissionError(Exception):
+    """The service refused a job at the door (explicit backpressure)."""
+
+    def __init__(self, message: str, reason: str):
+        super().__init__(message)
+        self.reason = reason  # "closed" | "backpressure" | "tenant-cap"
+
+
+class JobCancelled(Exception):
+    """Raised inside a job's compile when its cancellation is observed."""
+
+
+class ServiceDispatchError(Exception):
+    """The shared pool failed a wave; the affected jobs fail with this."""
+
+
+#: spans the per-job Gantt is drawn from — see metrics.job_gantt
+TaskSpan = JobSpan
+
+
+@dataclass
+class JobRecord:
+    """Everything the service tracks about one compile job."""
+
+    job_id: str
+    tenant: str
+    priority: str
+    source: str
+    filename: str
+    opt_level: int
+    cell_count: int
+    submit_seq: int
+    state: str = "queued"
+    submitted_at: float = 0.0  # monotonic, relative to service start
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[CompilationResult] = None
+    cancel_requested: bool = False
+    tasks_total: int = 0
+    tasks_done: int = 0
+    cache_served: int = 0
+    events: List[dict] = field(default_factory=list)
+    #: results (or control messages) routed back from the dispatcher
+    inbox: "queue_mod.Queue" = field(default_factory=queue_mod.Queue)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def summary(self) -> dict:
+        data = {
+            "job": self.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state,
+            "filename": self.filename,
+            "submitted_at": round(self.submitted_at, 6),
+            "started_at": (
+                round(self.started_at, 6)
+                if self.started_at is not None
+                else None
+            ),
+            "finished_at": (
+                round(self.finished_at, 6)
+                if self.finished_at is not None
+                else None
+            ),
+            "tasks_total": self.tasks_total,
+            "tasks_done": self.tasks_done,
+            "cache_served": self.cache_served,
+            "error": self.error,
+        }
+        if self.result is not None:
+            data["digest"] = self.result.digest
+        return data
+
+
+class _JobDispatch:
+    """The dispatch seam handed to a job's ParallelCompiler: enqueue the
+    cache-miss tasks into the shared fair-share queue, then yield results
+    as the dispatcher routes them back."""
+
+    def __init__(self, service: "CompileService", job: JobRecord):
+        self._service = service
+        self._job = job
+        self._last_task_count: Optional[int] = None
+
+    @property
+    def effective_worker_count(self) -> int:
+        workers = self._service.worker_count
+        if self._last_task_count is None:
+            return workers
+        return max(1, min(workers, self._last_task_count))
+
+    def __call__(
+        self, tasks: List[FunctionTask]
+    ) -> Iterator[FunctionTaskResult]:
+        keyed = [(task, result_keys_for_task(task)) for task in tasks]
+        expected = sum(len(keys) for _, keys in keyed)
+        self._last_task_count = len(tasks)
+        self._service._submit_tasks(self._job, keyed, expected)
+        received = 0
+        while received < expected:
+            kind, payload = self._job.inbox.get()
+            if kind == "result":
+                received += 1
+                yield payload
+            elif kind == "cancel":
+                raise JobCancelled(self._job.job_id)
+            else:  # "error"
+                raise ServiceDispatchError(payload)
+
+
+class CompileService:
+    """A long-lived, multi-tenant compile service over one shared pool.
+
+    ``backend`` may be any :class:`~repro.parallel.backend
+    .ExecutionBackend` — typically a
+    :class:`~repro.parallel.warm_pool.WarmPoolBackend`, optionally
+    wrapped in :class:`~repro.parallel.supervisor.SupervisedBackend`.
+    A caller-provided backend (and cache) is *borrowed*: the service
+    never shuts it down.  With ``backend=None`` the service builds and
+    owns a warm pool of ``max_workers``.
+    """
+
+    def __init__(
+        self,
+        backend=None,
+        cache=None,
+        *,
+        max_workers: Optional[int] = None,
+        max_queued: int = 32,
+        max_running: int = 4,
+        per_tenant_inflight: int = 8,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        wave_size: Optional[int] = None,
+        keep_finished: int = 256,
+        max_spans: int = 4096,
+    ):
+        if max_queued < 1:
+            raise ValueError(f"max_queued must be positive, got {max_queued}")
+        if max_running < 1:
+            raise ValueError(
+                f"max_running must be positive, got {max_running}"
+            )
+        if per_tenant_inflight < 1:
+            raise ValueError(
+                "per_tenant_inflight must be positive, "
+                f"got {per_tenant_inflight}"
+            )
+        if keep_finished < 1:
+            raise ValueError(
+                f"keep_finished must be positive, got {keep_finished}"
+            )
+        self.owns_backend = backend is None
+        if backend is None:
+            from ..parallel.warm_pool import WarmPoolBackend
+
+            backend = WarmPoolBackend(max_workers=max_workers)
+        self._backend = backend
+        self.worker_count = max(1, getattr(backend, "worker_count", 1))
+        self.wave_size = (
+            wave_size if wave_size is not None else self.worker_count * 2
+        )
+        if self.wave_size < 1:
+            raise ValueError(
+                f"wave_size must be positive, got {self.wave_size}"
+            )
+        self._cache = cache
+        self.max_queued = max_queued
+        self.max_running = max_running
+        self.per_tenant_inflight = per_tenant_inflight
+        self.keep_finished = keep_finished
+        self.max_spans = max_spans
+
+        self.fair_queue = FairShareQueue(tenant_weights)
+        self._cond = threading.Condition()
+        self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._job_ids = itertools.count(1)
+        self._submit_seq = itertools.count()
+        self._accepting = True
+        self._closing = False
+        self._closed = False
+        self._t0 = time.monotonic()
+        #: completed task spans (bounded), for Gantt/utilization export
+        self.spans: List[TaskSpan] = []
+        self.stats = {
+            "submitted": 0,
+            "rejected": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "waves": 0,
+            "tasks_dispatched": 0,
+            "busy_worker_seconds": 0.0,
+        }
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="warpcc-dispatcher", daemon=True
+        )
+        self._runners = [
+            threading.Thread(
+                target=self._runner_loop,
+                name=f"warpcc-runner-{i}",
+                daemon=True,
+            )
+            for i in range(max_running)
+        ]
+        self._dispatcher.start()
+        for runner in self._runners:
+            runner.start()
+
+    # -- clock ---------------------------------------------------------
+
+    def _now(self) -> float:
+        """Monotonic seconds since the service started."""
+        return time.monotonic() - self._t0
+
+    # -- submission / admission ----------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        *,
+        tenant: str = "default",
+        filename: str = "<input>",
+        priority: str = "normal",
+        opt_level: int = 2,
+        cells: int = 10,
+    ) -> str:
+        """Admit one compile job; returns its id or raises
+        :class:`AdmissionError` (explicit backpressure, never buffering
+        beyond the configured bounds)."""
+        priority_index(priority)  # validate early, outside the lock
+        with self._cond:
+            if not self._accepting:
+                raise AdmissionError(
+                    "service is shutting down", reason="closed"
+                )
+            queued = sum(
+                1 for job in self._jobs.values() if job.state == "queued"
+            )
+            if queued >= self.max_queued:
+                self.stats["rejected"] += 1
+                raise AdmissionError(
+                    f"queue full ({queued} job(s) queued, "
+                    f"max {self.max_queued}); retry later",
+                    reason="backpressure",
+                )
+            inflight = sum(
+                1
+                for job in self._jobs.values()
+                if job.tenant == tenant and not job.terminal
+            )
+            if inflight >= self.per_tenant_inflight:
+                self.stats["rejected"] += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} already has {inflight} job(s) "
+                    f"in flight (cap {self.per_tenant_inflight})",
+                    reason="tenant-cap",
+                )
+            job = JobRecord(
+                job_id=f"j{next(self._job_ids)}",
+                tenant=tenant,
+                priority=priority,
+                source=source,
+                filename=filename,
+                opt_level=opt_level,
+                cell_count=cells,
+                submit_seq=next(self._submit_seq),
+                submitted_at=self._now(),
+            )
+            self._jobs[job.job_id] = job
+            self.stats["submitted"] += 1
+            self._event(job, "queued")
+            self._cond.notify_all()
+            return job.job_id
+
+    def _event(self, job: JobRecord, name: str, **extra) -> None:
+        """Append one lifecycle event (caller holds the lock)."""
+        record = {
+            "seq": len(job.events),
+            "time": round(self._now(), 6),
+            "event": name,
+            "job": job.job_id,
+        }
+        record.update(extra)
+        job.events.append(record)
+
+    # -- job runners ---------------------------------------------------
+
+    def _next_startable(self) -> Optional[JobRecord]:
+        """Best queued job: priority class first, then submission order
+        (caller holds the lock)."""
+        best: Optional[JobRecord] = None
+        for job in self._jobs.values():
+            if job.state != "queued":
+                continue
+            if best is None or (
+                priority_index(job.priority),
+                job.submit_seq,
+            ) < (priority_index(best.priority), best.submit_seq):
+                best = job
+        return best
+
+    def _runner_loop(self) -> None:
+        while True:
+            with self._cond:
+                job = self._next_startable()
+                while job is None and not self._closing:
+                    self._cond.wait()
+                    job = self._next_startable()
+                if job is None:
+                    return
+                if job.cancel_requested:
+                    self._finish(job, "cancelled")
+                    continue
+                job.state = "running"
+                job.started_at = self._now()
+                self._event(job, "started")
+                self._cond.notify_all()
+            self._run_job(job)
+
+    def _run_job(self, job: JobRecord) -> None:
+        dispatch = _JobDispatch(self, job)
+        compiler = ParallelCompiler(
+            array=WarpArrayModel(cell_count=job.cell_count),
+            opt_level=job.opt_level,
+            cache=self._cache,
+            dispatch=dispatch,
+        )
+        try:
+            result = compiler.compile(job.source, filename=job.filename)
+        except JobCancelled:
+            with self._cond:
+                self._finish(job, "cancelled")
+        except CompileError as error:
+            with self._cond:
+                job.error = "\n".join(
+                    d.render() for d in error.diagnostics
+                )
+                self._finish(job, "failed")
+        except ServiceDispatchError as error:
+            with self._cond:
+                job.error = f"pool dispatch failed: {error}"
+                self._finish(job, "failed")
+        except Exception as error:  # noqa: BLE001 - job isolation barrier
+            with self._cond:
+                job.error = f"{type(error).__name__}: {error}"
+                self._finish(job, "failed")
+        else:
+            with self._cond:
+                # A cancel that raced the last result loses: the work is
+                # done and bit-identical, so completing wins.
+                job.result = result
+                job.cache_served = result.profile.artifact_cache_hits()
+                self._finish(job, "done", digest=result.digest)
+
+    def _finish(self, job: JobRecord, state: str, **extra) -> None:
+        """Move a job to a terminal state (caller holds the lock)."""
+        if job.terminal:
+            return
+        job.state = state
+        job.finished_at = self._now()
+        self.stats[state] += 1
+        self._event(job, state, **extra)
+        self._evict_finished()
+        self._cond.notify_all()
+
+    def _evict_finished(self) -> None:
+        terminal = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.terminal
+        ]
+        excess = len(terminal) - self.keep_finished
+        for job_id in terminal[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    # -- shared-pool dispatcher ----------------------------------------
+
+    def _submit_tasks(self, job: JobRecord, keyed, expected: int) -> None:
+        """Called from a job thread: feed its tasks to the fair queue."""
+        with self._cond:
+            if job.cancel_requested:
+                raise JobCancelled(job.job_id)
+            job.tasks_total = expected
+            self.fair_queue.enqueue(
+                job.job_id,
+                job.tenant,
+                priority_index(job.priority),
+                keyed,
+            )
+            self._event(job, "tasks_queued", tasks=expected)
+            self._cond.notify_all()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self.fair_queue.has_pending():
+                    active = any(
+                        not job.terminal for job in self._jobs.values()
+                    )
+                    if self._closing and not active:
+                        return
+                    self._cond.wait()
+                wave = self.fair_queue.next_wave(self.wave_size)
+            if wave:
+                self._run_wave(wave)
+
+    def _run_wave(self, wave: List[QueuedTask]) -> None:
+        tasks = [queued.task for queued in wave]
+        route: Dict[Tuple[str, str], Tuple[str, QueuedTask]] = {}
+        for queued in wave:
+            for key in queued.result_keys:
+                route[key] = (queued.job_id, queued)
+        wave_start = self._now()
+        error: Optional[BaseException] = None
+        try:
+            for result in stream_task_results(self._backend, tasks):
+                self._route_result(route, result, wave_start)
+        except BaseException as exc:  # noqa: BLE001 - isolate wave failure
+            error = exc
+        wave_end = self._now()
+        with self._cond:
+            self.stats["waves"] += 1
+            self.stats["tasks_dispatched"] += len(tasks)
+            self.stats["busy_worker_seconds"] += (
+                wave_end - wave_start
+            ) * min(len(tasks), self.worker_count)
+            if route:
+                # Keys never routed: the wave died (pool failure) or the
+                # backend under-delivered.  Fail every involved job.
+                message = (
+                    repr(error)
+                    if error is not None
+                    else f"backend returned no result for {sorted(route)}"
+                )
+                for job_id in {job_id for job_id, _ in route.values()}:
+                    job = self._jobs.get(job_id)
+                    if job is not None and not job.terminal:
+                        job.inbox.put(("error", message))
+                self._cond.notify_all()
+
+    def _route_result(
+        self,
+        route: Dict[Tuple[str, str], Tuple[str, QueuedTask]],
+        result: FunctionTaskResult,
+        wave_start: float,
+    ) -> None:
+        key = (result.section_name, result.function_name)
+        now = self._now()
+        with self._cond:
+            entry = route.pop(key, None)
+            if entry is None:
+                return  # late duplicate or unknown — drop
+            job_id, _ = entry
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            if len(self.spans) < self.max_spans:
+                self.spans.append(
+                    TaskSpan(
+                        job_id=job_id,
+                        label=f"{key[0]}.{key[1]}",
+                        start=wave_start,
+                        end=now,
+                    )
+                )
+            if job.cancel_requested:
+                return  # the cancel sentinel is already in the inbox
+            job.tasks_done += 1
+            self._event(job, "function_done", function=f"{key[0]}.{key[1]}")
+            job.inbox.put(("result", result))
+            self._cond.notify_all()
+
+    # -- queries -------------------------------------------------------
+
+    def job(self, job_id: str) -> JobRecord:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            return job
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            while not job.terminal:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"job {job_id} still {job.state} "
+                            f"after {timeout}s"
+                        )
+                self._cond.wait(remaining)
+            return job
+
+    def events_since(
+        self,
+        job_id: str,
+        index: int,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[dict], bool]:
+        """(new events after ``index``, job-is-terminal) — blocks until
+        there is something new, the job ends, or ``timeout`` passes."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            while len(job.events) <= index and not job.terminal:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(remaining)
+            return list(job.events[index:]), job.terminal
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Queued jobs cancel immediately; running jobs
+        are interrupted at their next dispatch boundary (results already
+        computed are discarded).  Returns False for terminal jobs."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.terminal:
+                return False
+            job.cancel_requested = True
+            self.fair_queue.discard_job(job_id)
+            if job.state == "queued":
+                self._finish(job, "cancelled")
+            else:
+                job.inbox.put(("cancel", None))
+            self._cond.notify_all()
+            return True
+
+    def jobs_summary(self) -> List[dict]:
+        with self._cond:
+            return [job.summary() for job in self._jobs.values()]
+
+    def service_stats(self) -> dict:
+        with self._cond:
+            elapsed = self._now()
+            stats = dict(self.stats)
+            stats["busy_worker_seconds"] = round(
+                stats["busy_worker_seconds"], 6
+            )
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            stats.update(
+                {
+                    "elapsed": round(elapsed, 6),
+                    "workers": self.worker_count,
+                    "wave_size": self.wave_size,
+                    "jobs": counts,
+                    "pending_tasks": self.fair_queue.pending_tasks(),
+                    "utilization": round(self.pool_utilization(), 4),
+                    "accepting": self._accepting,
+                }
+            )
+            return stats
+
+    def pool_utilization(self) -> float:
+        """Busy worker-seconds over elapsed capacity (0 when idle)."""
+        elapsed = self._now()
+        if elapsed <= 0:
+            return 0.0
+        return min(
+            1.0,
+            self.stats["busy_worker_seconds"]
+            / (self.worker_count * elapsed),
+        )
+
+    def gantt(
+        self, job_id: Optional[str] = None, width: int = 72
+    ) -> str:
+        """Per-job Gantt over the shared pool's slots (see
+        :mod:`repro.metrics.job_gantt`)."""
+        with self._cond:
+            spans = (
+                [s for s in self.spans if s.job_id == job_id]
+                if job_id is not None
+                else list(self.spans)
+            )
+        return render_job_gantt(
+            spans, width=width, slots=self.worker_count
+        )
+
+    def slot_utilization(self) -> float:
+        """Utilization derived from the recorded task spans."""
+        with self._cond:
+            spans = list(self.spans)
+        return slot_utilization(spans, slots=self.worker_count)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop admitting; wait until every accepted job is terminal."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            self._accepting = False
+            self._cond.notify_all()
+            while any(not job.terminal for job in self._jobs.values()):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("drain timed out")
+                self._cond.wait(remaining)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: optionally drain, stop the worker threads,
+        and shut the backend down only if this service owns it."""
+        if self._closed:
+            return
+        with self._cond:
+            self._accepting = False
+            if not drain:
+                for job in list(self._jobs.values()):
+                    if not job.terminal and not job.cancel_requested:
+                        job.cancel_requested = True
+                        self.fair_queue.discard_job(job.job_id)
+                        if job.state == "queued":
+                            self._finish(job, "cancelled")
+                        else:
+                            job.inbox.put(("cancel", None))
+            self._cond.notify_all()
+        self.drain(timeout=timeout)
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=10)
+        for runner in self._runners:
+            runner.join(timeout=10)
+        self._closed = True
+        if self.owns_backend:
+            shutdown = getattr(self._backend, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close(drain=exc_type is None)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines socket protocol.
+#
+# One request per line; the reply is one JSON line, except "wait" with
+# "stream": true, which sends one {"event": ...} line per job event
+# before the final {"ok": true, ...} line.  Errors never close the
+# server: they become {"ok": false, "error": ..., "reason": ...}.
+# ---------------------------------------------------------------------------
+
+PROTOCOL_VERSION = 1
+
+
+def _job_detail(service: CompileService, job: JobRecord) -> dict:
+    detail = job.summary()
+    if job.result is not None:
+        detail["report"] = job.result.to_dict()
+        detail["diagnostics"] = job.result.diagnostics_text
+    return detail
+
+
+class _ServiceRequestHandler(socketserver.StreamRequestHandler):
+    """One thread per connection; a connection may issue many requests."""
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                self._dispatch(request)
+            except BrokenPipeError:  # pragma: no cover - client went away
+                return
+            except Exception as error:  # noqa: BLE001 - protocol barrier
+                self._reply(
+                    ok=False,
+                    error=f"{type(error).__name__}: {error}",
+                    reason="bad-request",
+                )
+
+    def _reply(self, **payload) -> None:
+        self.wfile.write(
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        )
+        self.wfile.flush()
+
+    def _dispatch(self, request: dict) -> None:
+        service: CompileService = self.server.service  # type: ignore[attr-defined]
+        op = request.get("op")
+        if op == "ping":
+            self._reply(
+                ok=True, service="warpcc", protocol=PROTOCOL_VERSION
+            )
+        elif op == "submit":
+            try:
+                job_id = service.submit(
+                    request["source"],
+                    tenant=request.get("tenant", "default"),
+                    filename=request.get("filename", "<input>"),
+                    priority=request.get("priority", "normal"),
+                    opt_level=int(request.get("opt_level", 2)),
+                    cells=int(request.get("cells", 10)),
+                )
+            except AdmissionError as error:
+                self._reply(ok=False, error=str(error), reason=error.reason)
+            else:
+                self._reply(ok=True, job=job_id, state="queued")
+        elif op == "status":
+            job_id = request.get("job")
+            if job_id is None:
+                payload = {
+                    "ok": True,
+                    "stats": service.service_stats(),
+                    "jobs": service.jobs_summary(),
+                }
+                if request.get("gantt"):
+                    payload["gantt"] = service.gantt(
+                        width=int(request.get("width", 72))
+                    )
+                self._reply(**payload)
+            else:
+                try:
+                    job = service.job(job_id)
+                except KeyError as error:
+                    self._reply(
+                        ok=False, error=str(error), reason="unknown-job"
+                    )
+                    return
+                payload = {"ok": True, "job": _job_detail(service, job)}
+                if request.get("gantt"):
+                    payload["gantt"] = service.gantt(
+                        job_id, width=int(request.get("width", 72))
+                    )
+                self._reply(**payload)
+        elif op == "wait":
+            job_id = request.get("job")
+            try:
+                if request.get("stream"):
+                    index = 0
+                    while True:
+                        events, terminal = service.events_since(
+                            job_id, index, timeout=0.5
+                        )
+                        for event in events:
+                            self._reply(ok=True, event=event)
+                        index += len(events)
+                        if terminal and not events:
+                            break
+                        if terminal:
+                            # flush any events logged with the final state
+                            events, _ = service.events_since(
+                                job_id, index, timeout=0
+                            )
+                            for event in events:
+                                self._reply(ok=True, event=event)
+                            index += len(events)
+                            break
+                job = service.wait(
+                    job_id, timeout=request.get("timeout")
+                )
+            except KeyError as error:
+                self._reply(ok=False, error=str(error), reason="unknown-job")
+            except TimeoutError as error:
+                self._reply(ok=False, error=str(error), reason="timeout")
+            else:
+                self._reply(ok=True, job=_job_detail(service, job))
+        elif op == "cancel":
+            try:
+                cancelled = service.cancel(request.get("job"))
+            except KeyError as error:
+                self._reply(ok=False, error=str(error), reason="unknown-job")
+            else:
+                self._reply(ok=True, cancelled=cancelled)
+        elif op == "shutdown":
+            drain = bool(request.get("drain", True))
+            self._reply(ok=True, draining=drain)
+            self.server.request_shutdown(drain)  # type: ignore[attr-defined]
+        else:
+            self._reply(
+                ok=False, error=f"unknown op {op!r}", reason="bad-request"
+            )
+
+
+class ServiceSocketServer(socketserver.ThreadingTCPServer):
+    """``warpcc serve``: the JSON-lines protocol endpoint.
+
+    Binds localhost by default (the service trusts its peers exactly as
+    much as any local compiler invocation).  ``port=0`` picks a free
+    ephemeral port; read :attr:`address` after construction.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: CompileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__((host, port), _ServiceRequestHandler)
+        self.service = service
+        self._shutdown_drain = True
+        self._shutdown_requested = threading.Event()
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"{host}:{port}"
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Ask the serve loop to stop (callable from handler threads)."""
+        self._shutdown_drain = drain
+        self._shutdown_requested.set()
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_shutdown(self) -> None:
+        """Serve requests until a ``shutdown`` op (or KeyboardInterrupt),
+        then drain the service and close everything."""
+        try:
+            self.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self.server_close()
+            self.service.close(drain=self._shutdown_drain)

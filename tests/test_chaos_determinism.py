@@ -148,16 +148,21 @@ class TestSupervisedReplay:
 
         def compile_once():
             inner = chaos(seed)
-            # Deadlines off (task_timeout=0) and hedging off: attempt
-            # counts then depend only on the seeded crash schedule, not
-            # on wall-clock under CI load, so the telemetry comparison
-            # below is sound.
+            # Deadlines off (task_timeout=0), hedging off, and
+            # quarantine effectively off: attempt counts then depend
+            # only on the seeded crash schedule, not on wall-clock
+            # under CI load, so the telemetry comparison below is
+            # sound.  (Quarantine's backoff expiry is wall-clock: a
+            # slow run can bench all workers at once and degrade to
+            # the fallback, which bypasses the chaos layer and drops
+            # injections.)
             backend = SupervisedBackend(
                 inner,
                 task_timeout=0,
                 hedge_after=None,
                 max_attempts=6,
                 poison_threshold=6,
+                quarantine_after=100,
             )
             result = ParallelCompiler(backend=backend).compile(SOURCE)
             return result.digest, (

@@ -1,0 +1,80 @@
+"""Backend/cache ownership and the dispatch seam in the master."""
+
+from repro.driver.master import ParallelCompiler
+from repro.driver.sequential import SequentialCompiler
+from repro.parallel.backend import stream_task_results
+from repro.parallel.local import SerialBackend
+
+SOURCE = """
+module own_demo
+section s (cells 0..0)
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to 3 do receive(v); send(v * 2.0); end;
+  end
+end
+end
+"""
+
+
+class ShutdownProbe(SerialBackend):
+    def __init__(self):
+        super().__init__()
+        self.shutdowns = 0
+
+    def shutdown(self):
+        self.shutdowns += 1
+
+
+class TestOwnership:
+    def test_borrowed_backend_survives_close(self):
+        backend = ShutdownProbe()
+        with ParallelCompiler(backend=backend) as compiler:
+            compiler.compile(SOURCE)
+        assert backend.shutdowns == 0
+
+    def test_owned_backend_is_shut_down_once(self):
+        backend = ShutdownProbe()
+        compiler = ParallelCompiler(backend=backend, owns_backend=True)
+        compiler.compile(SOURCE)
+        compiler.close()
+        assert backend.shutdowns == 1
+
+    def test_close_tolerates_shutdownless_backend(self):
+        compiler = ParallelCompiler(
+            backend=SerialBackend(), owns_backend=True
+        )
+        compiler.compile(SOURCE)
+        compiler.close()  # SerialBackend has no shutdown(): no-op
+
+
+class TestDispatchSeam:
+    def test_custom_dispatch_replaces_backend(self):
+        """A dispatch callable sees every cache-miss task and its
+        results flow back into a bit-identical module."""
+        seen = []
+        inner = SerialBackend()
+
+        def dispatch(tasks):
+            seen.extend(tasks)
+            return stream_task_results(inner, tasks)
+
+        expected = SequentialCompiler().compile(SOURCE).digest
+        result = ParallelCompiler(
+            backend=SerialBackend(), dispatch=dispatch
+        ).compile(SOURCE)
+        assert result.digest == expected
+        assert [t.function_name for t in seen] == ["main"]
+
+    def test_dispatch_profile_reports_dispatch_workers(self):
+        class WideDispatch:
+            effective_worker_count = 7
+
+            def __call__(self, tasks):
+                return stream_task_results(SerialBackend(), tasks)
+
+        result = ParallelCompiler(
+            backend=SerialBackend(), dispatch=WideDispatch()
+        ).compile(SOURCE)
+        assert result.profile.workers_used == 7

@@ -1,0 +1,61 @@
+"""Seeded load generation against the compile service."""
+
+import pytest
+
+from repro.parallel.local import SerialBackend
+from repro.service import CompileService, LoadSpec, plan_load, run_load
+
+
+class TestPlan:
+    def test_same_seed_same_plan(self):
+        spec = LoadSpec(seed=7, jobs=10)
+        assert plan_load(spec) == plan_load(spec)
+
+    def test_different_seed_different_plan(self):
+        assert plan_load(LoadSpec(seed=1)) != plan_load(LoadSpec(seed=2))
+
+    def test_arrivals_are_monotonic(self):
+        plan = plan_load(LoadSpec(seed=3, jobs=20))
+        times = [job.at for job in plan]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_plan_respects_mixes(self):
+        spec = LoadSpec(
+            seed=0, jobs=30,
+            tenants={"only": 1.0},
+            size_mix={"tiny": 1.0},
+            priority_mix={"batch": 1.0},
+        )
+        plan = plan_load(spec)
+        assert {j.tenant for j in plan} == {"only"}
+        assert {j.size_class for j in plan} == {"tiny"}
+        assert {j.priority for j in plan} == {"batch"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_load(LoadSpec(jobs=0))
+        with pytest.raises(ValueError):
+            plan_load(LoadSpec(arrival_rate=0))
+        with pytest.raises(KeyError):
+            plan_load(LoadSpec(size_mix={"gigantic": 1.0}))
+
+
+class TestRun:
+    def test_small_run_produces_a_sane_report(self):
+        spec = LoadSpec(
+            seed=11, jobs=6, arrival_rate=50.0,
+            size_mix={"tiny": 1.0},
+            functions_by_size={"tiny": 2},
+        )
+        with CompileService(SerialBackend(), max_running=2) as service:
+            report = run_load(service, spec, time_scale=0.1)
+        assert report.jobs_completed == 6
+        assert report.jobs_failed == 0 and report.jobs_rejected == 0
+        assert report.latency_p95 >= report.latency_p50 > 0
+        assert report.queue_wait_p95 >= 0
+        assert 0.0 <= report.pool_utilization <= 1.0
+        assert sum(report.per_tenant_completed.values()) == 6
+        document = report.to_dict()
+        assert document["jobs_completed"] == 6
+        assert document["latency_p50_s"] > 0

@@ -1,0 +1,147 @@
+"""The JSON-lines socket protocol: serve, submit, status, shutdown."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.driver.sequential import SequentialCompiler
+from repro.parallel.local import SerialBackend
+from repro.service import (
+    CompileService,
+    ServiceClient,
+    ServiceError,
+    ServiceSocketServer,
+)
+from repro.service.client import parse_address, resolve_address
+
+SOURCE = """
+module proto_mod
+section s (cells 0..0)
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to 3 do receive(v); send(v * 2.0); end;
+  end
+end
+end
+"""
+
+
+@pytest.fixture
+def endpoint():
+    service = CompileService(SerialBackend(), max_running=2)
+    server = ServiceSocketServer(service)
+    thread = threading.Thread(
+        target=server.serve_until_shutdown, daemon=True
+    )
+    thread.start()
+    try:
+        yield server.address, service
+    finally:
+        if not thread.is_alive():
+            return
+        server.request_shutdown(drain=False)
+        thread.join(timeout=30.0)
+
+
+class TestAddresses:
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:80") == ("127.0.0.1", 80)
+
+    def test_parse_address_rejects_portless(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address("localhost")
+
+    def test_resolve_prefers_explicit(self, monkeypatch):
+        monkeypatch.setenv("WARPCC_SERVICE", "env:1")
+        assert resolve_address("cli:2") == "cli:2"
+        assert resolve_address(None) == "env:1"
+
+    def test_resolve_without_any_address(self, monkeypatch):
+        monkeypatch.delenv("WARPCC_SERVICE", raising=False)
+        with pytest.raises(ServiceError) as excinfo:
+            resolve_address(None)
+        assert excinfo.value.reason == "no-address"
+
+
+class TestProtocol:
+    def test_ping(self, endpoint):
+        address, _ = endpoint
+        reply = ServiceClient(address).ping()
+        assert reply["protocol"] == 1
+
+    def test_submit_streams_events_and_matches_solo_digest(self, endpoint):
+        address, _ = endpoint
+        expected = SequentialCompiler().compile(SOURCE).digest
+        events = []
+        job = ServiceClient(address).submit_and_wait(
+            SOURCE,
+            tenant="alice",
+            filename="proto_mod.w2",
+            on_event=events.append,
+            timeout=60.0,
+        )
+        assert job["state"] == "done"
+        assert job["digest"] == expected
+        assert job["report"]["digest"] == expected
+        names = [event["event"] for event in events]
+        assert names[0] == "queued" and names[-1] == "done"
+        assert "function_done" in names
+
+    def test_status_overview_and_gantt(self, endpoint):
+        address, _ = endpoint
+        client = ServiceClient(address)
+        job = client.submit_and_wait(SOURCE, tenant="bob", timeout=60.0)
+        overview = client.status(gantt=True)
+        assert overview["stats"]["done"] >= 1
+        assert any(j["job"] == job["job"] for j in overview["jobs"])
+        assert "slot 0" in overview["gantt"]
+        detail = client.status(job["job"])
+        assert detail["job"]["state"] == "done"
+
+    def test_unknown_job_is_a_protocol_error(self, endpoint):
+        address, _ = endpoint
+        client = ServiceClient(address)
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("j999")
+        assert excinfo.value.reason == "unknown-job"
+        with pytest.raises(ServiceError):
+            client.cancel("j999")
+
+    def test_malformed_request_does_not_kill_server(self, endpoint):
+        address, _ = endpoint
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b"this is not json\n")
+            sock.shutdown(socket.SHUT_WR)
+            reply = json.loads(sock.makefile().readline())
+        assert reply["ok"] is False
+        assert ServiceClient(address).ping()["ok"] is True
+
+    def test_admission_reason_crosses_the_wire(self, endpoint):
+        address, service = endpoint
+        service.per_tenant_inflight = 0  # force immediate rejection
+        client = ServiceClient(address)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(SOURCE, tenant="alice")
+            assert excinfo.value.reason == "tenant-cap"
+        finally:
+            service.per_tenant_inflight = 8
+
+    def test_shutdown_drains_in_flight_jobs(self):
+        service = CompileService(SerialBackend())
+        server = ServiceSocketServer(service)
+        thread = threading.Thread(
+            target=server.serve_until_shutdown, daemon=True
+        )
+        thread.start()
+        client = ServiceClient(server.address)
+        job_id = client.submit(SOURCE, tenant="alice")
+        reply = client.shutdown(drain=True)
+        assert reply["draining"] is True
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert service.job(job_id).state == "done"

@@ -1,0 +1,205 @@
+"""Fair-share scheduling in the compile service's task queue."""
+
+import pytest
+
+from repro.driver.function_master import FunctionTask
+from repro.service.queue import (
+    PRIORITY_CLASSES,
+    FairShareQueue,
+    priority_index,
+    result_keys_for_task,
+)
+
+
+def _task(section, function, cost=1.0):
+    return FunctionTask(
+        source_text="",
+        filename="t.w2",
+        section_name=section,
+        function_name=function,
+        cost_hint=cost,
+    )
+
+
+def _keyed(*tasks):
+    return [(task, result_keys_for_task(task)) for task in tasks]
+
+
+def _names(wave):
+    return [(q.job_id, q.task.function_name) for q in wave]
+
+
+class TestPriorityIndex:
+    def test_ranks_every_class(self):
+        assert [priority_index(p) for p in PRIORITY_CLASSES] == [0, 1, 2]
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            priority_index("urgent")
+
+
+class TestFairShare:
+    def test_single_job_is_fifo(self):
+        q = FairShareQueue()
+        q.enqueue("j1", "a", 1, _keyed(*[_task("s", f"f{i}") for i in range(4)]))
+        wave = q.next_wave(10)
+        assert [t.task.function_name for t in wave] == ["f0", "f1", "f2", "f3"]
+        assert not q.has_pending()
+
+    def test_small_tenant_not_starved_by_huge_job(self):
+        """The headline property: a tiny job's tasks land in the very
+        first wave even when a huge job from another tenant arrived
+        first with far more work."""
+        q = FairShareQueue()
+        q.enqueue(
+            "huge", "a", 1,
+            _keyed(*[_task("s", f"big{i}", cost=50.0) for i in range(10)]),
+        )
+        q.enqueue("tiny", "b", 1, _keyed(_task("t", "t0"), _task("t", "t1")))
+        wave = q.next_wave(4)
+        jobs = [t.job_id for t in wave]
+        # both tiny tasks dispatched in the first wave of four
+        assert jobs.count("tiny") == 2
+        # and the huge job is not locked out either
+        assert jobs.count("huge") == 2
+
+    def test_huge_job_cannot_monopolize_any_wave(self):
+        q = FairShareQueue()
+        q.enqueue(
+            "huge", "a", 1,
+            _keyed(*[_task("s", f"big{i}", cost=20.0) for i in range(20)]),
+        )
+        q.enqueue(
+            "small", "b", 1,
+            _keyed(*[_task("t", f"sm{i}", cost=1.0) for i in range(20)]),
+        )
+        # cost-weighted stride: each huge task (cost 20) pushes the huge
+        # tenant 20 units of virtual time ahead, so while small work is
+        # pending the huge job can never take two consecutive slots
+        order = []
+        while q.has_pending():
+            order.extend(t.job_id for t in q.next_wave(8))
+        small_left = order.count("small")
+        for current, following in zip(order, order[1:]):
+            small_left -= current == "small"
+            if current == "huge" and small_left > 0:
+                assert following == "small"
+
+    def test_weighted_tenants_split_proportionally(self):
+        q = FairShareQueue(tenant_weights={"a": 3.0, "b": 1.0})
+        q.enqueue("ja", "a", 1, _keyed(*[_task("s", f"a{i}") for i in range(12)]))
+        q.enqueue("jb", "b", 1, _keyed(*[_task("t", f"b{i}") for i in range(12)]))
+        wave = q.next_wave(8)
+        jobs = [t.job_id for t in wave]
+        assert jobs.count("ja") == 6
+        assert jobs.count("jb") == 2
+
+    def test_within_tenant_small_job_overtakes(self):
+        """The per-job second level: one tenant's tiny job overtakes
+        the same tenant's huge job."""
+        q = FairShareQueue()
+        q.enqueue(
+            "huge", "a", 1,
+            _keyed(*[_task("s", f"big{i}", cost=30.0) for i in range(6)]),
+        )
+        q.enqueue("tiny", "a", 1, _keyed(_task("t", "t0", cost=1.0)))
+        first = q.next_wave(1)[0]
+        second = q.next_wave(1)[0]
+        # huge was first in line, but right after its first task the
+        # tiny job's lower job-vtime wins the slot
+        assert first.job_id == "huge"
+        assert second.job_id == "tiny"
+
+    def test_strict_priority_preempts_fair_share(self):
+        q = FairShareQueue()
+        q.enqueue("batch", "a", priority_index("batch"),
+                  _keyed(*[_task("s", f"f{i}") for i in range(3)]))
+        q.enqueue("inter", "b", priority_index("interactive"),
+                  _keyed(_task("t", "t0")))
+        wave = q.next_wave(2)
+        assert _names(wave)[0] == ("inter", "t0")
+
+    def test_dispatch_order_is_deterministic(self):
+        def build():
+            q = FairShareQueue(tenant_weights={"a": 2.0})
+            q.enqueue("j1", "a", 1,
+                      _keyed(*[_task("s", f"x{i}", cost=3.0) for i in range(5)]))
+            q.enqueue("j2", "b", 1,
+                      _keyed(*[_task("t", f"y{i}", cost=1.0) for i in range(5)]))
+            q.enqueue("j3", "b", 0, _keyed(_task("u", "z0")))
+            order = []
+            while q.has_pending():
+                order.extend(_names(q.next_wave(3)))
+            return order
+
+        assert build() == build()
+
+    def test_result_key_collision_defers_whole_job(self):
+        """Two jobs compiling the same (section, function): one wave
+        never carries both (the pool routes results by that key)."""
+        q = FairShareQueue()
+        q.enqueue("j1", "a", 1, _keyed(_task("s", "main")))
+        q.enqueue("j2", "b", 1, _keyed(_task("s", "main")))
+        first = q.next_wave(8)
+        second = q.next_wave(8)
+        assert len(first) == 1 and len(second) == 1
+        assert {first[0].job_id, second[0].job_id} == {"j1", "j2"}
+
+    def test_idle_tenant_reactivates_at_floor(self):
+        """A tenant that was idle while others ran does not bank
+        credit: on re-activation it shares from *now* instead of
+        monopolizing until its vtime catches up — and it is not
+        punished for having been idle either."""
+        q = FairShareQueue()
+        q.enqueue("ja", "a", 1,
+                  _keyed(*[_task("s", f"a{i}", cost=10.0) for i in range(4)]))
+        q.next_wave(4)  # tenant a's vtime is now 40
+        q.enqueue("ja2", "a", 1, _keyed(_task("s", "a4", cost=10.0)))
+        q.enqueue("jb", "b", 1,
+                  _keyed(*[_task("t", f"b{i}", cost=10.0) for i in range(2)]))
+        wave = q.next_wave(3)
+        jobs = [t.job_id for t in wave]
+        # b activates at the floor (a's 40), so they alternate instead
+        # of b draining everything first
+        assert jobs.count("jb") == 2
+        assert jobs.count("ja2") == 1
+
+    def test_discard_job_drops_pending_tasks(self):
+        q = FairShareQueue()
+        q.enqueue("j1", "a", 1, _keyed(*[_task("s", f"f{i}") for i in range(3)]))
+        assert q.pending_for("j1") == 3
+        assert q.discard_job("j1") == 3
+        assert not q.has_pending()
+        assert q.discard_job("j1") == 0
+
+    def test_cost_floor_applies(self):
+        q = FairShareQueue(min_cost=2.0)
+        q.enqueue("j1", "a", 1, _keyed(_task("s", "f", cost=0.001)))
+        assert q.next_wave(1)[0].cost == 2.0
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            FairShareQueue(tenant_weights={"a": 0.0})
+        q = FairShareQueue()
+        with pytest.raises(ValueError):
+            q.set_weight("a", -1.0)
+
+
+class TestResultKeys:
+    def test_function_task_has_one_key(self):
+        assert result_keys_for_task(_task("s", "main")) == (("s", "main"),)
+
+    def test_section_task_expands_to_member_functions(self):
+        source = (
+            "module m\nsection s (cells 0..0)\n"
+            "function f() begin send(1.0); end\n"
+            "function g() begin send(2.0); end\n"
+            "end\nend\n"
+        )
+        task = FunctionTask(
+            source_text=source,
+            filename="m.w2",
+            section_name="s",
+            function_name=None,
+        )
+        assert result_keys_for_task(task) == (("s", "f"), ("s", "g"))
