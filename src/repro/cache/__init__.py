@@ -10,6 +10,11 @@ on-disk, concurrency-safe, size-bounded store
 (:mod:`repro.cache.store`).  The driver consults it before dispatching
 tasks to a backend, so editing one function of a module re-runs phases
 2-3 for exactly that function.
+
+A second tier (:mod:`repro.cache.parse_store`) does the same for phase
+1: per-function parse+sema results keyed by span hash, start column,
+and sibling signatures, so editing one function re-*parses* exactly
+that function too.
 """
 
 from .fingerprint import (
@@ -18,14 +23,28 @@ from .fingerprint import (
     function_fingerprint,
     module_fingerprints,
 )
+from .parse_store import (
+    PARSE_SCHEMA_VERSION,
+    ParseCache,
+    ParseEntry,
+    parse_salt,
+    signature_table_hash,
+    window_key,
+)
 from .store import ArtifactCache, CacheStats, default_cache_dir
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "CACHE_SCHEMA_VERSION",
+    "PARSE_SCHEMA_VERSION",
+    "ParseCache",
+    "ParseEntry",
     "compiler_salt",
     "default_cache_dir",
     "function_fingerprint",
     "module_fingerprints",
+    "parse_salt",
+    "signature_table_hash",
+    "window_key",
 ]

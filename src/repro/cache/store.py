@@ -1,17 +1,22 @@
-"""On-disk artifact store: content-addressed, concurrent-safe, bounded.
+"""On-disk pickle stores: content-addressed, concurrent-safe, bounded.
 
-Layout: ``<cache_dir>/objects/<fp[:2]>/<fp>.pkl``, one pickled
-:class:`~repro.driver.function_master.FunctionTaskResult` per entry.
-Writes go through a temporary file in the same directory followed by
-``os.replace``, which is atomic on POSIX and Windows — two compilers
-sharing a cache directory can race freely: readers see either the old
-bytes or the new bytes, never a torn write.  A reader that *does* find
-garbage (a corrupt or truncated entry, e.g. from a crashed writer on a
-non-atomic filesystem) deletes it, counts it, and reports a miss —
-corruption can cost a recompile, never a wrong artifact.
+Layout: ``<cache_dir>/<subdir>/<fp[:2]>/<fp>.pkl``, one pickled payload
+per entry.  Writes go through a temporary file in the same directory
+followed by ``os.replace``, which is atomic on POSIX and Windows — two
+compilers sharing a cache directory can race freely: readers see either
+the old bytes or the new bytes, never a torn write.  A reader that
+*does* find garbage (a corrupt or truncated entry, e.g. from a crashed
+writer on a non-atomic filesystem) deletes it, counts it, and reports a
+miss — corruption can cost a recompile, never a wrong artifact.
 
 Eviction is LRU by file mtime (every hit re-touches its entry), bounded
-by total bytes; the store never evicts the entry it just wrote.
+by total bytes; a store never evicts the entry it just wrote.
+
+Two tiers share this machinery: :class:`ArtifactCache` (phase-2/3
+object code, ``objects/``) and :class:`~repro.cache.parse_store.ParseCache`
+(phase-1 per-function parse+sema results, ``parse/``).  They live in
+separate subdirectories of the same cache dir and keep independent
+bounds and stats.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class CacheStats:
-    """Counters for one :class:`ArtifactCache` instance's lifetime."""
+    """Counters for one store instance's lifetime."""
 
     hits: int = 0
     misses: int = 0
@@ -54,8 +59,20 @@ class CacheStats:
         return CacheStats(self.hits, self.misses, self.evictions, self.corrupt)
 
 
-class ArtifactCache:
-    """Persistent store of compiled function artifacts."""
+class PickleStore:
+    """Generic sharded pickle store; subclasses pin the payload type.
+
+    Class attributes:
+
+    - ``SUBDIR`` — subdirectory of the cache dir holding this tier's
+      entries (tiers sharing a cache dir must not collide);
+    - ``PAYLOAD_TYPE`` — entries that unpickle to anything else are
+      treated as corrupt (type confusion between tiers or schema
+      versions costs a recompute, never a wrong result).
+    """
+
+    SUBDIR = "objects"
+    PAYLOAD_TYPE: type = object
 
     def __init__(
         self,
@@ -67,15 +84,15 @@ class ArtifactCache:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.max_bytes = max_bytes
         self.stats = CacheStats()
-        self._objects = self.cache_dir / "objects"
+        self._objects = self.cache_dir / self.SUBDIR
 
     # -- lookup --------------------------------------------------------
 
     def _entry_path(self, fingerprint: str) -> Path:
         return self._objects / fingerprint[:2] / f"{fingerprint}.pkl"
 
-    def get(self, fingerprint: str) -> Optional[FunctionTaskResult]:
-        """The cached artifact, or None (miss).  Corrupt entries are
+    def get(self, fingerprint: str):
+        """The cached payload, or None (miss).  Corrupt entries are
         deleted, counted, and reported as misses."""
         path = self._entry_path(fingerprint)
         try:
@@ -85,7 +102,7 @@ class ArtifactCache:
             return None
         try:
             result = pickle.loads(data)
-            if not isinstance(result, FunctionTaskResult):
+            if not isinstance(result, self.PAYLOAD_TYPE):
                 raise TypeError(f"cache entry holds {type(result).__name__}")
         except Exception:
             self.stats.corrupt += 1
@@ -101,7 +118,7 @@ class ArtifactCache:
 
     # -- insertion -----------------------------------------------------
 
-    def put(self, fingerprint: str, result: FunctionTaskResult) -> None:
+    def put(self, fingerprint: str, result) -> None:
         """Store ``result`` atomically, then enforce the size bound."""
         path = self._entry_path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -173,3 +190,14 @@ class ArtifactCache:
             if self._remove(path):
                 removed += 1
         return removed
+
+
+class ArtifactCache(PickleStore):
+    """Persistent store of compiled function artifacts (phases 2-3)."""
+
+    SUBDIR = "objects"
+    PAYLOAD_TYPE = FunctionTaskResult
+
+    def get(self, fingerprint: str) -> Optional[FunctionTaskResult]:
+        """The cached artifact, or None (miss)."""
+        return super().get(fingerprint)

@@ -67,6 +67,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the persistent function-level artifact cache",
     )
     compile_cmd.add_argument(
+        "--phase1-jobs", type=int, default=None, metavar="N",
+        help="parse and check N function bodies concurrently in phase 1 "
+        "(boundary-scan front end; bit-identical to sequential); "
+        "implies --parallel",
+    )
+    compile_cmd.add_argument(
+        "--no-parse-cache", action="store_true",
+        help="with --phase1-jobs: disable the persistent per-function "
+        "parse cache (span-hash keyed incremental front end)",
+    )
+    compile_cmd.add_argument(
         "--supervised", action="store_true",
         help="wrap the backend in the supervision layer (deadlines, "
         "straggler hedging, worker quarantine, poison-task isolation); "
@@ -359,14 +370,42 @@ def _cache_stats_line(cache) -> str:
     )
 
 
+def _build_parse_cache(args):
+    """The parse cache selected by --phase1-jobs / --no-parse-cache."""
+    if args.phase1_jobs is None or args.no_parse_cache:
+        return None
+    from .cache import ParseCache
+
+    return ParseCache(args.cache_dir)
+
+
+def _parse_cache_stats_line(parse_cache) -> str:
+    stats = parse_cache.stats
+    return (
+        f"parse cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{parse_cache.size_bytes()} bytes on disk"
+    )
+
+
 def _cmd_compile(args) -> int:
     source = _read_source(args.file)
     array = WarpArrayModel(cell_count=args.cells)
     if args.supervised or args.chaos is not None:
         args.parallel = True  # supervision wraps the parallel backend
+    if args.phase1_jobs is not None:
+        args.parallel = True  # the parallel front end rides the hierarchy
     cache = _build_cache(args) if args.parallel else None
+    parse_cache = _build_parse_cache(args) if args.parallel else None
     try:
         if args.parallel:
+            if parse_cache is not None:
+                # Pool workers read this to run the incremental front
+                # end on their own phase-1 misses.
+                import os
+
+                os.environ["WARPCC_PARSE_CACHE_DIR"] = str(
+                    parse_cache.cache_dir
+                )
             backend = (
                 ProcessPoolBackend(args.jobs)
                 if args.jobs is None or args.jobs > 1
@@ -406,6 +445,7 @@ def _cmd_compile(args) -> int:
             with ParallelCompiler(
                 backend=backend, array=array, opt_level=args.opt_level,
                 cache=cache, owns_backend=True,
+                phase1_jobs=args.phase1_jobs, parse_cache=parse_cache,
             ) as compiler:
                 result = compiler.compile(source, filename=args.file)
         else:
@@ -439,6 +479,13 @@ def _cmd_compile(args) -> int:
                 "misses": stats.misses,
                 "bytes_on_disk": cache.size_bytes(),
             }
+        if parse_cache is not None:
+            stats = parse_cache.stats
+            document["parse_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "bytes_on_disk": parse_cache.size_bytes(),
+            }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 1 if result.profile.failed_functions() else 0
 
@@ -464,6 +511,8 @@ def _cmd_compile(args) -> int:
               f"{result.profile.download_words} words")
         if cache is not None:
             print(_cache_stats_line(cache))
+        if parse_cache is not None:
+            print(_parse_cache_stats_line(parse_cache))
     if result.profile.failed_functions():
         # Poison functions that could not even be compiled in-process:
         # the module is partial, signal it without hiding the rest.

@@ -28,7 +28,12 @@ from typing import List, Optional, Tuple
 
 from ..asmlink.objformat import ObjectFunction
 from ..machine.warp_array import WarpArrayModel
-from .phases import ParsedProgram, compile_one_function, phase1_parse_and_check
+from .phases import (
+    ParsedProgram,
+    compile_one_function,
+    phase1_parallel,
+    phase1_parse_and_check,
+)
 from .results import FunctionReport
 
 
@@ -134,11 +139,42 @@ def phase1_cache_stats() -> Tuple[int, int]:
     return _phase1_hits, _phase1_misses
 
 
+#: One ParseCache per distinct directory, so every task a worker process
+#: runs shares the incremental front end's disk tier.
+_worker_parse_caches: dict = {}
+
+
+def _default_front(source_text: str, filename: str) -> ParsedProgram:
+    """The front end a worker runs on a memo miss.
+
+    When the driving process exported ``WARPCC_PARSE_CACHE_DIR`` the
+    worker uses the incremental front end at ``jobs=1`` (the pool is the
+    parallelism; nesting thread pools inside workers buys nothing), so
+    even a cold worker's first parse of an edited module reuses every
+    untouched function from disk.  Otherwise: the sequential front end.
+    """
+    cache_dir = os.environ.get("WARPCC_PARSE_CACHE_DIR")
+    if not cache_dir:
+        return phase1_parse_and_check(source_text, filename)
+    parse_cache = _worker_parse_caches.get(cache_dir)
+    if parse_cache is None:
+        from ..cache.parse_store import ParseCache
+
+        parse_cache = ParseCache(cache_dir)
+        _worker_parse_caches[cache_dir] = parse_cache
+    return phase1_parallel(
+        source_text, filename, jobs=1, parse_cache=parse_cache
+    )
+
+
 def phase1_cached(
-    source_text: str, filename: str = "<input>"
+    source_text: str, filename: str = "<input>", front=None
 ) -> Tuple[ParsedProgram, bool]:
     """Phase 1 through the per-worker memo; returns ``(parsed, hit)``.
 
+    ``front`` (a ``(source_text, filename) -> ParsedProgram`` callable)
+    is what runs on a miss; it defaults to :func:`_default_front`, which
+    picks the sequential or incremental front end from the environment.
     Only successful parses are cached — a module with errors raises
     :class:`~repro.lang.diagnostics.CompileError` every time.
     """
@@ -156,7 +192,8 @@ def phase1_cached(
     # Parse outside the lock: concurrent job threads parsing *different*
     # modules must not serialize on each other.  Two threads racing the
     # same module both parse; last writer wins, results are identical.
-    parsed = phase1_parse_and_check(source_text, filename)
+    builder = front if front is not None else _default_front
+    parsed = builder(source_text, filename)
     with _phase1_lock:
         _phase1_misses += 1
         _phase1_cache[key] = parsed

@@ -35,7 +35,13 @@ from ..parallel.backend import ExecutionBackend, stream_task_results
 from ..parallel.local import SerialBackend
 from ..parallel.schedule import ast_cost_hint
 from .function_master import FunctionTask, FunctionTaskResult, phase1_cached
-from .phases import ParsedProgram, phase4_link_and_download
+from .phases import (
+    ParsedProgram,
+    Phase1Stats,
+    phase1_parallel,
+    phase1_parse_and_check,
+    phase4_link_and_download,
+)
 from .results import CompilationResult, WorkProfile
 from .section_master import StreamingSectionCombiner
 
@@ -57,6 +63,8 @@ class ParallelCompiler:
         cache=None,
         dispatch: Optional[TaskDispatch] = None,
         owns_backend: bool = False,
+        phase1_jobs: Optional[int] = None,
+        parse_cache=None,
     ):
         if granularity not in ("function", "section"):
             raise ValueError(
@@ -82,6 +90,16 @@ class ParallelCompiler:
         #: backends: closing a compiler must never tear down a pool it
         #: does not own (the double-shutdown footgun).
         self.owns_backend = owns_backend
+        #: thread count for the parallel phase-1 front end; None keeps
+        #: the sequential front end (unless a parse cache is given, which
+        #: also routes through :func:`phase1_parallel` at its default).
+        self.phase1_jobs = phase1_jobs
+        #: optional :class:`repro.cache.ParseCache`: per-function parse+
+        #: sema results are served from / written back to it.
+        self.parse_cache = parse_cache
+        #: :class:`~repro.driver.phases.Phase1Stats` of the most recent
+        #: :meth:`compile` — telemetry for reports and benchmarks.
+        self.last_phase1_stats: Optional[Phase1Stats] = None
 
     def close(self) -> None:
         """Release owned resources.  A borrowed backend is untouched;
@@ -106,7 +124,21 @@ class ParallelCompiler:
         # partitioning; syntax/semantic errors abort here.  The parse
         # goes through the phase-1 cache so in-process workers (and, with
         # a fork start method, freshly forked pool workers) reuse it.
-        parsed, _ = phase1_cached(source_text, filename)
+        stats = Phase1Stats()
+        if self.phase1_jobs is not None or self.parse_cache is not None:
+            front = lambda s, f: phase1_parallel(
+                s,
+                f,
+                jobs=self.phase1_jobs,
+                parse_cache=self.parse_cache,
+                stats=stats,
+            )
+        else:
+            front = lambda s, f: phase1_parse_and_check(s, f, stats=stats)
+        parsed, memo_hit = phase1_cached(source_text, filename, front=front)
+        if memo_hit:
+            stats.mode = "memo"
+        self.last_phase1_stats = stats
         tasks = self._build_tasks(parsed, source_text, filename)
 
         # Section masters combine incrementally: cache hits land first,
@@ -152,6 +184,11 @@ class ParallelCompiler:
                 # alone did the (trivial) work.
                 else 1
             ),
+            phase1_parse_ms=round(stats.parse_ms, 3),
+            phase1_sema_ms=round(stats.sema_ms, 3),
+            phase1_mode=stats.mode,
+            parse_cache_hits=stats.cache_hits,
+            parse_cache_misses=stats.cache_misses,
         )
         if stats_before is not None:
             profile.artifact_cache_evictions = (

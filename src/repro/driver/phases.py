@@ -1,19 +1,31 @@
 """The four compiler phases (paper §3.2).
 
-1. parsing and semantic checking (sequential; needs the whole section);
+1. parsing and semantic checking — sequential by default
+   (:func:`phase1_parse_and_check`), but parallel and incremental on
+   demand (:func:`phase1_parallel`, ``--phase1-jobs``): a boundary scan
+   splits the module at function heads, the function bodies are parsed
+   and checked concurrently against a shared signature table, and
+   per-function results are reused across runs through the span-hash
+   parse cache (:mod:`repro.cache.parse_store`).  The parallel path is
+   bit-identical to the sequential one; any deviation (or any
+   diagnostic) falls back to the sequential front end, which remains
+   the canonical oracle;
 2. flowgraph construction, local optimization, global dependencies;
 3. software pipelining and code generation;
 4. I/O driver generation, assembly, and post-processing (linking,
    download-module construction).
 
 Phases 2 and 3 run per function — :func:`compile_one_function` is the
-exact unit of work a function master executes.  Phases 1 and 4 are cheap
-("less than 5% ... on parsing") and stay sequential.
+exact unit of work a function master executes.  Phase 4 is cheap and
+stays sequential.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..asmlink.download import build_download_module, module_size_words
@@ -25,11 +37,21 @@ from ..codegen.compiler import compile_function
 from ..ir.lowering import lower_function
 from ..ir.loops import loop_nest_weight
 from ..lang import ast_nodes as ast
+from ..lang.boundary import scan_boundaries
 from ..lang.diagnostics import CompileError, DiagnosticSink
 from ..lang.lexer import tokenize
 from ..lang.parser import Parser
-from ..lang.sema import SemaResult, check_module
-from ..lang.source import SourceFile
+from ..lang.sema import (
+    FunctionChecker,
+    SemaResult,
+    check_module,
+    check_module_structure,
+    detect_call_cycles,
+    function_call_sites,
+    section_function_table,
+)
+from ..lang.source import SourceFile, Span, WindowedSource
+from ..lang.tokens import Token, TokenKind
 from ..machine.warp_array import WarpArrayModel
 from .results import FunctionReport
 
@@ -46,8 +68,57 @@ class ParsedProgram:
     source_lines: int
 
 
+@dataclass
+class Phase1Stats:
+    """Telemetry for one phase-1 run (either front end).
+
+    ``parse_ms``/``sema_ms`` are *aggregate* CPU-ish time — on the
+    parallel path they sum per-window worker time, so they measure work,
+    not wall clock.  ``skeleton_work``/``window_work`` are deterministic
+    token counts feeding :func:`phase1_critical_path_work`.
+    """
+
+    mode: str = "sequential"  # sequential | parallel | fallback | memo
+    jobs: int = 1
+    parse_ms: float = 0.0
+    sema_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallback_reason: Optional[str] = None
+    #: tokens handled sequentially (skeleton gaps + its EOF-less tail)
+    skeleton_work: int = 0
+    #: tokens per function window, in source order (cache hits included —
+    #: a hit still *represents* that many tokens of parse work)
+    window_work: List[int] = field(default_factory=list)
+
+
+def default_phase1_jobs() -> int:
+    """Same sizing heuristic as the warm worker farm: all cores but one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def phase1_critical_path_work(stats: Phase1Stats, jobs: int) -> int:
+    """Deterministic work-unit model of parallel phase 1's critical path.
+
+    LPT-schedules the per-window token counts onto ``jobs`` workers and
+    returns the sequential skeleton work plus the busiest worker's load.
+    This is the machine-independent scaling measure the benchmarks
+    guard: wall clock on a CPython thread pool is GIL-bound, but the
+    critical path is what a free-threaded or process-backed phase 1
+    would pay.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    loads = [0] * jobs
+    for work in sorted(stats.window_work, reverse=True):
+        loads[loads.index(min(loads))] += work
+    return stats.skeleton_work + (max(loads) if loads else 0)
+
+
 def phase1_parse_and_check(
-    source_text: str, filename: str = "<input>"
+    source_text: str,
+    filename: str = "<input>",
+    stats: Optional[Phase1Stats] = None,
 ) -> ParsedProgram:
     """Parse and semantically check; raises CompileError on any error.
 
@@ -58,11 +129,17 @@ def phase1_parse_and_check(
     """
     source = SourceFile(filename, source_text)
     sink = DiagnosticSink()
+    t0 = time.perf_counter()
     tokens = tokenize(source, sink)
     module = Parser(tokens, sink).parse_module()
+    if stats is not None:
+        stats.parse_ms += (time.perf_counter() - t0) * 1000.0
     if sink.has_errors:
         raise CompileError(sink.diagnostics)
+    t1 = time.perf_counter()
     sema = check_module(module, sink)
+    if stats is not None:
+        stats.sema_ms += (time.perf_counter() - t1) * 1000.0
     if sink.has_errors:
         raise CompileError(sink.diagnostics)
     # Work proxies: tokens for scanning/parsing, statements for checking.
@@ -74,6 +151,345 @@ def phase1_parse_and_check(
         sink=sink,
         parse_work=parse_work,
         sema_work=sema_work,
+        source_lines=source.count_lines(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parallel + incremental phase 1
+# ---------------------------------------------------------------------------
+
+
+class _WindowProblem(Exception):
+    """Internal: the fast path hit something only the sequential front
+    end may diagnose; unwinds to the fallback."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _phase1_fallback(
+    source_text: str,
+    filename: str,
+    stats: Optional[Phase1Stats],
+    reason: str,
+) -> ParsedProgram:
+    """Re-run the sequential front end for canonical results/diagnostics."""
+    if stats is not None:
+        stats.mode = "fallback"
+        stats.fallback_reason = reason
+    return phase1_parse_and_check(source_text, filename, stats=stats)
+
+
+def _lex_skeleton(
+    source: SourceFile, windows, sink: DiagnosticSink
+) -> List[Token]:
+    """Lex the text *between* function windows (module/section headers
+    and closing ``end``s) into one token stream, EOF-terminated at the
+    file's true end.  Token spans are absolute, so the skeleton parse
+    yields module/section nodes with sequential-identical spans."""
+    text = source.text
+    gaps: List[Tuple[int, int]] = []
+    pos = 0
+    for w in windows:
+        gaps.append((pos, w.start))
+        pos = w.end
+    gaps.append((pos, len(text)))
+    tokens: List[Token] = []
+    for start, end in gaps:
+        if start >= end:
+            continue
+        view = WindowedSource(
+            source.filename, text[start:end], source.position_at(start)
+        )
+        tokens.extend(tokenize(view, sink)[:-1])  # strip the gap's EOF
+    eof_pos = source.position_at(len(text))
+    tokens.append(
+        Token(
+            TokenKind.EOF,
+            "",
+            Span(source.filename, eof_pos, eof_pos),
+            None,
+        )
+    )
+    return tokens
+
+
+def _parse_signature_stub(
+    source: SourceFile, window
+) -> Optional[ast.Function]:
+    """Header-only parse of one window (name, params, return type)."""
+    sink = DiagnosticSink()
+    view = WindowedSource(
+        source.filename,
+        source.text[window.start : window.header_end],
+        source.position_at(window.start),
+    )
+    tokens = tokenize(view, sink)
+    stub = Parser(tokens, sink).parse_function_signature()
+    if stub is None or sink.has_errors:
+        return None
+    return stub
+
+
+def _parse_and_check_window(
+    source: SourceFile,
+    window,
+    table: Dict[str, ast.Function],
+) -> Tuple[ast.Function, object, List[Tuple[str, Span]], int, float, float]:
+    """One worker's job: lex, parse, and check a single function window.
+
+    Returns ``(fn, scope, calls, token_count, parse_s, sema_s)``; raises
+    :class:`_WindowProblem` on any diagnostic (the fallback re-derives
+    the canonical error report sequentially).
+    """
+    sink = DiagnosticSink()
+    base = source.position_at(window.start)
+    view = WindowedSource(
+        source.filename, source.text[window.start : window.end], base
+    )
+    t0 = time.perf_counter()
+    tokens = tokenize(view, sink)
+    fn = Parser(tokens, sink).parse_function()
+    parse_s = time.perf_counter() - t0
+    if fn is None or sink.has_errors:
+        raise _WindowProblem("window parse error")
+    t1 = time.perf_counter()
+    scope = FunctionChecker(table, sink).check(fn)
+    sema_s = time.perf_counter() - t1
+    if sink.has_errors:
+        raise _WindowProblem("window sema error")
+    calls = function_call_sites(fn)
+    return fn, scope, calls, len(tokens) - 1, parse_s, sema_s
+
+
+def phase1_parallel(
+    source_text: str,
+    filename: str = "<input>",
+    jobs: Optional[int] = None,
+    parse_cache=None,
+    stats: Optional[Phase1Stats] = None,
+) -> ParsedProgram:
+    """Parallel + incremental phase 1; bit-identical to the sequential
+    front end, to which it falls back on *any* irregularity.
+
+    Pipeline: boundary-scan the text into per-function byte windows;
+    parse the skeleton (everything between windows) sequentially; parse
+    each function *header* sequentially to build the per-section
+    signature table; then parse+check every function body concurrently
+    (``jobs`` threads) against that read-only table — or serve it from
+    ``parse_cache`` (a :class:`~repro.cache.parse_store.ParseCache`),
+    span-rebased to its current location.  A final sequential structure
+    pass re-checks the whole-module properties (duplicate names, cell
+    ranges, call cycles).
+
+    Any diagnostic anywhere aborts the fast path and re-runs
+    :func:`phase1_parse_and_check`, whose error report is canonical —
+    errors abort compilation anyway, so the doubled front-end cost on
+    the error path is irrelevant.
+    """
+    if jobs is None:
+        jobs = default_phase1_jobs()
+    if stats is not None:
+        stats.jobs = jobs
+
+    boundaries = scan_boundaries(source_text)
+    if boundaries is None:
+        return _phase1_fallback(
+            source_text, filename, stats, "boundary scan failed"
+        )
+    source = SourceFile(filename, source_text)
+    windows = boundaries.all_windows()
+
+    # -- skeleton: module/section structure without function bodies -----
+    t_skel = time.perf_counter()
+    skeleton_sink = DiagnosticSink()
+    skeleton_tokens = _lex_skeleton(source, windows, skeleton_sink)
+    module = Parser(skeleton_tokens, skeleton_sink).parse_module()
+    skeleton_s = time.perf_counter() - t_skel
+    if skeleton_sink.has_errors:
+        return _phase1_fallback(
+            source_text, filename, stats, "skeleton parse error"
+        )
+    if len(module.sections) != len(boundaries.sections) or any(
+        sec.functions for sec in module.sections
+    ):
+        return _phase1_fallback(
+            source_text, filename, stats, "skeleton/boundary mismatch"
+        )
+
+    # -- signature pass: headers only, sequential -----------------------
+    t_sig = time.perf_counter()
+    section_tables: List[Dict[str, ast.Function]] = []
+    section_hashes: List[Optional[str]] = []
+    for sec_node, sec_bounds in zip(module.sections, boundaries.sections):
+        stubs = []
+        for window in sec_bounds.function_windows:
+            stub = _parse_signature_stub(source, window)
+            if stub is None:
+                return _phase1_fallback(
+                    source_text, filename, stats, "signature parse error"
+                )
+            stubs.append(stub)
+        table: Dict[str, ast.Function] = {}
+        for stub in stubs:  # first definition wins, like sema's table
+            table.setdefault(stub.name, stub)
+        section_tables.append(table)
+        if parse_cache is not None:
+            from ..cache.parse_store import signature_table_hash
+
+            section_hashes.append(
+                signature_table_hash(
+                    sec_node.name,
+                    sec_node.first_cell,
+                    sec_node.last_cell,
+                    stubs,
+                )
+            )
+        else:
+            section_hashes.append(None)
+    signature_s = time.perf_counter() - t_sig
+
+    # -- per-function pass: cache hits, then concurrent parse+check -----
+    jobs_list: List[Tuple[int, int, object]] = []  # (sec idx, win idx, window)
+    for sec_idx, sec_bounds in enumerate(boundaries.sections):
+        for win_idx, window in enumerate(sec_bounds.function_windows):
+            jobs_list.append((sec_idx, win_idx, window))
+
+    results: Dict[Tuple[int, int], tuple] = {}
+    keys: Dict[Tuple[int, int], str] = {}
+    misses: List[Tuple[int, int, object]] = []
+    cache_hits = cache_misses = 0
+    if parse_cache is not None:
+        from ..cache.parse_store import window_key
+
+        for sec_idx, win_idx, window in jobs_list:
+            base = source.position_at(window.start)
+            key = window_key(
+                source_text[window.start : window.end],
+                base.column,
+                section_hashes[sec_idx],
+            )
+            keys[(sec_idx, win_idx)] = key
+            entry = parse_cache.get(key, base=base, filename=filename)
+            if entry is not None:
+                cache_hits += 1
+                results[(sec_idx, win_idx)] = (
+                    entry.function,
+                    entry.scope,
+                    entry.calls,
+                    entry.token_count,
+                    0.0,
+                    0.0,
+                )
+            else:
+                cache_misses += 1
+                misses.append((sec_idx, win_idx, window))
+    else:
+        misses = jobs_list
+
+    try:
+        if jobs > 1 and len(misses) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(jobs, len(misses))
+            ) as pool:
+                futures = [
+                    (
+                        sec_idx,
+                        win_idx,
+                        pool.submit(
+                            _parse_and_check_window,
+                            source,
+                            window,
+                            section_tables[sec_idx],
+                        ),
+                    )
+                    for sec_idx, win_idx, window in misses
+                ]
+                for sec_idx, win_idx, future in futures:
+                    results[(sec_idx, win_idx)] = future.result()
+        else:
+            for sec_idx, win_idx, window in misses:
+                results[(sec_idx, win_idx)] = _parse_and_check_window(
+                    source, window, section_tables[sec_idx]
+                )
+    except _WindowProblem as problem:
+        return _phase1_fallback(source_text, filename, stats, problem.reason)
+
+    if parse_cache is not None and misses:
+        from ..cache.parse_store import ParseEntry
+
+        for sec_idx, win_idx, window in misses:
+            fn, scope, calls, token_count, _, _ = results[(sec_idx, win_idx)]
+            parse_cache.put(
+                keys[(sec_idx, win_idx)],
+                ParseEntry(
+                    function=fn,
+                    scope=scope,
+                    calls=calls,
+                    token_count=token_count,
+                    base=source.position_at(window.start),
+                    filename=filename,
+                ),
+            )
+
+    # -- splice + sequential structure pass -----------------------------
+    for sec_idx, (sec_node, sec_bounds) in enumerate(
+        zip(module.sections, boundaries.sections)
+    ):
+        sec_node.functions = [
+            results[(sec_idx, win_idx)][0]
+            for win_idx in range(len(sec_bounds.function_windows))
+        ]
+    t_struct = time.perf_counter()
+    structure_sink = DiagnosticSink()
+    check_module_structure(module, structure_sink)
+    for sec_node in module.sections:
+        section_function_table(sec_node, structure_sink)
+    for sec_idx, sec_node in enumerate(module.sections):
+        calls = {}
+        for win_idx in range(len(sec_node.functions)):
+            fn, _scope, fn_calls, *_ = results[(sec_idx, win_idx)]
+            calls[fn.name] = fn_calls
+        detect_call_cycles(sec_node.name, calls, structure_sink)
+    structure_s = time.perf_counter() - t_struct
+    if structure_sink.has_errors:
+        return _phase1_fallback(
+            source_text, filename, stats, "structure pass error"
+        )
+
+    sema = SemaResult(module)
+    window_work: List[int] = []
+    parse_s_total = sema_s_total = 0.0
+    for sec_idx, sec_node in enumerate(module.sections):
+        for win_idx, fn in enumerate(sec_node.functions):
+            _fn, scope, _calls, token_count, parse_s, sema_s = results[
+                (sec_idx, win_idx)
+            ]
+            sema.scopes[(sec_node.name, fn.name)] = scope
+            window_work.append(token_count)
+            parse_s_total += parse_s
+            sema_s_total += sema_s
+
+    if stats is not None:
+        stats.mode = "parallel"
+        stats.cache_hits = cache_hits
+        stats.cache_misses = cache_misses
+        stats.skeleton_work = len(skeleton_tokens) - 1
+        stats.window_work = window_work
+        stats.parse_ms += (skeleton_s + signature_s + parse_s_total) * 1000.0
+        stats.sema_ms += (structure_s + sema_s_total) * 1000.0
+
+    # Token identity: sequential lexing sees every skeleton token, every
+    # window token, and one EOF — exactly what the two counts sum to.
+    parse_work = len(skeleton_tokens) + sum(window_work)
+    return ParsedProgram(
+        module=module,
+        sema=sema,
+        sink=DiagnosticSink(),
+        parse_work=parse_work,
+        sema_work=_ast_size(module),
         source_lines=source.count_lines(),
     )
 

@@ -80,6 +80,18 @@ class WorkProfile:
 
     parse_work: int = 0
     sema_work: int = 0
+    #: wall-time telemetry for the master's own phase-1 run (aggregate
+    #: worker time on the parallel front end) and which front end ran:
+    #: ``sequential``, ``parallel``, ``fallback`` (parallel path bailed
+    #: to sequential), or ``memo`` (whole-module LRU hit, no parse).
+    phase1_parse_ms: float = 0.0
+    phase1_sema_ms: float = 0.0
+    phase1_mode: str = "sequential"
+    #: span-hash parse-cache counters for the master's phase-1 run (the
+    #: incremental front end; distinct from the per-worker whole-module
+    #: memo counted on the function reports).
+    parse_cache_hits: int = 0
+    parse_cache_misses: int = 0
     functions: List[FunctionReport] = field(default_factory=list)
     assembly_work: int = 0
     link_work: int = 0
@@ -162,6 +174,11 @@ class WorkProfile:
         return {
             "parse_work": self.parse_work,
             "sema_work": self.sema_work,
+            "phase1_parse_ms": self.phase1_parse_ms,
+            "phase1_sema_ms": self.phase1_sema_ms,
+            "phase1_mode": self.phase1_mode,
+            "parse_cache_hits": self.parse_cache_hits,
+            "parse_cache_misses": self.parse_cache_misses,
             "assembly_work": self.assembly_work,
             "link_work": self.link_work,
             "download_words": self.download_words,

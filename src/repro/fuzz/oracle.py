@@ -21,6 +21,9 @@ Pipeline variants (the matrix):
 ``section``               section-granularity dispatch (§3.1's original plan)
 ``warm-pool``             persistent multiprocess warm-worker farm
 ``cache``                 cache-cold then cache-warm compile, shared store
+``phase1``                parallel+incremental front end (boundary scan,
+                          concurrent per-function parse+sema, parse cache),
+                          cold then warm
 ``supervised``            deadline/hedge/quarantine supervision, no faults
 ``chaos``                 supervision over seeded crash/hang/corrupt faults
 ========================  ==================================================
@@ -65,6 +68,7 @@ ALL_PIPELINES: Tuple[str, ...] = (
     "section",
     "warm-pool",
     "cache",
+    "phase1",
     "supervised",
     "chaos",
 )
@@ -263,6 +267,8 @@ class DifferentialOracle:
             ).compile(source)
         if name == "cache":
             return self._compile_cache_variant(source, **kwargs)
+        if name == "phase1":
+            return self._compile_phase1_variant(source, **kwargs)
         if name == "supervised":
             from ..parallel.supervisor import SupervisedBackend
 
@@ -319,6 +325,48 @@ class DifferentialOracle:
             self._assert_salt_isolation(source, cache, array, opt_level)
             return warm
 
+    def _compile_phase1_variant(self, source: str, *, array, opt_level):
+        """Parse-cache-cold compile, then a warm recompile of the same
+        source; both through the parallel front end (2 parse threads).
+        Digest must match across the cold/warm pair (a rebased cache
+        entry must be indistinguishable from a fresh parse) and, when
+        the fast path ran, the warm run must actually hit the cache."""
+        from ..driver.function_master import clear_phase1_cache
+
+        with tempfile.TemporaryDirectory(prefix="warpcc-fuzz-parse-") as tmp:
+            from ..cache import ParseCache
+
+            parse_cache = ParseCache(tmp)
+            compiler = ParallelCompiler(
+                backend=SerialBackend(),
+                array=array,
+                opt_level=opt_level,
+                phase1_jobs=2,
+                parse_cache=parse_cache,
+            )
+            # Drop the whole-module memo before each compile (earlier
+            # legs of this check parsed the same source): both runs must
+            # exercise the span-hash tier, not short-circuit above it.
+            clear_phase1_cache()
+            cold = compiler.compile(source)
+            clear_phase1_cache()
+            warm = compiler.compile(source)
+            if cold.digest != warm.digest:
+                raise OracleInvariantError(
+                    "parse-cache-warm digest diverged from cold: "
+                    f"{warm.digest} != {cold.digest}"
+                )
+            stats = compiler.last_phase1_stats
+            if (
+                stats is not None
+                and stats.mode == "parallel"
+                and stats.cache_hits == 0
+            ):
+                raise OracleInvariantError(
+                    "warm recompile served no parse-cache hits"
+                )
+            return warm
+
     def _assert_salt_isolation(self, source, cache, array, opt_level) -> None:
         """A salted cache must never serve cross-version entries: the
         same module fingerprinted under a bumped compiler salt must miss
@@ -351,6 +399,7 @@ class DifferentialOracle:
         report = OracleReport(source=source, inputs=list(inputs or []))
 
         baseline = None
+        baseline_error: Optional[str] = None
         try:
             baseline = self._compile_sequential(source)
             report.outcomes.append(
@@ -361,9 +410,9 @@ class DifferentialOracle:
                 )
             )
         except CompileError as error:
-            rendered = "\n".join(d.render() for d in error.diagnostics)
+            baseline_error = "\n".join(d.render() for d in error.diagnostics)
             report.outcomes.append(
-                PipelineOutcome("sequential", error=rendered)
+                PipelineOutcome("sequential", error=baseline_error)
             )
         except Exception as error:  # noqa: BLE001 - classified, not hidden
             report.outcomes.append(
@@ -377,7 +426,9 @@ class DifferentialOracle:
         for name in self.config.pipelines:
             if name == "sequential":
                 continue
-            self._check_pipeline(name, source, seed, baseline, report)
+            self._check_pipeline(
+                name, source, seed, baseline, baseline_error, report
+            )
 
         if baseline is not None and self._reference is not None:
             self._check_semantics(source, report, baseline)
@@ -396,7 +447,13 @@ class DifferentialOracle:
         return digest
 
     def _check_pipeline(
-        self, name: str, source: str, seed: int, baseline, report: OracleReport
+        self,
+        name: str,
+        source: str,
+        seed: int,
+        baseline,
+        baseline_error: Optional[str],
+        report: OracleReport,
     ) -> None:
         try:
             result = self._compile_variant(name, source, seed)
@@ -410,6 +467,17 @@ class DifferentialOracle:
                         name,
                         "pipeline rejected a module the sequential "
                         f"compiler accepted: {rendered}",
+                    )
+                )
+            elif rendered != baseline_error:
+                # Both rejected, but not identically: an aborting
+                # compile must report the same errors on every pipeline.
+                report.mismatches.append(
+                    Mismatch(
+                        "diagnostic",
+                        name,
+                        f"rejection diagnostics {rendered!r} != "
+                        f"sequential {baseline_error!r}",
                     )
                 )
             return

@@ -1,0 +1,183 @@
+"""Boundary scanner: split a module at ``section``/``function`` heads.
+
+The parallel front end needs to know *where* each function's text lives
+before it can parse the functions concurrently — but deriving that from
+a full parse would defeat the point.  This scanner is the answer for a
+block-structured grammar: a single character-level skim that replicates
+the lexer's trivia/word/number rules exactly (so a ``function`` inside a
+``--`` comment or glued to a float literal is never mistaken for a
+keyword) and tracks block depth through ``begin``/``if``/``for``/
+``while``/``end``.  It never builds tokens or an AST; its output is one
+half-open byte window per function plus the offset where the header ends
+(the ``begin`` keyword), which is all the parallel parser and the
+signature pass need.
+
+The scanner only has to be *right on valid modules*: whenever the input
+deviates from the expected module/section/function shape it returns
+``None`` and the caller falls back to the sequential front end, which
+reports the canonical diagnostics.  Operator-level garbage is invisible
+to the word skim, but it always lands either inside a function window
+(caught by that window's real parse) or in the skeleton between windows
+(caught by the skeleton's real parse) — both trigger the same fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+#: keywords that open a nested ``... end`` block inside a function body
+_BLOCK_OPENERS = frozenset({"if", "for", "while"})
+
+#: structural words that may never appear inside a function body/header
+_STRUCTURE_WORDS = frozenset({"module", "section", "function"})
+
+
+@dataclass(frozen=True)
+class FunctionWindow:
+    """Byte offsets of one function: ``[start, end)`` covers the text
+    from its ``function`` keyword through its closing ``end`` inclusive;
+    ``header_end`` is the offset of the ``begin`` keyword (the header —
+    name, parameters, return type, var block — is ``[start, header_end)``)."""
+
+    start: int
+    header_end: int
+    end: int
+
+
+@dataclass(frozen=True)
+class SectionBoundaries:
+    """The function windows of one section, in source order."""
+
+    function_windows: Tuple[FunctionWindow, ...]
+
+
+@dataclass(frozen=True)
+class ModuleBoundaries:
+    """Every section's function windows, in source order."""
+
+    sections: Tuple[SectionBoundaries, ...]
+
+    def all_windows(self) -> List[FunctionWindow]:
+        return [w for sec in self.sections for w in sec.function_windows]
+
+    def function_count(self) -> int:
+        return sum(len(sec.function_windows) for sec in self.sections)
+
+
+def _words(text: str) -> Iterator[Tuple[str, int, int]]:
+    """Yield ``(word, start, end)`` for every identifier/keyword word,
+    skipping trivia and numbers with the lexer's exact rules.
+
+    Fidelity matters: ``1e5end`` lexes as FLOAT_LIT then ``end`` (the
+    exponent rule stops before the ``e`` of a second word), and a naive
+    regex scan would disagree.  Operators are skipped one character at a
+    time — none of them contains a word character, so they can never
+    absorb the start of a keyword.
+    """
+    pos, n = 0, len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == "-" and text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = n if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos + 1
+            while end < n and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            yield text[pos:end], pos, end
+            pos = end
+            continue
+        if ch.isdigit():
+            # Mirror Lexer._lex_number: digits, optional fraction (a '.'
+            # only when not the '..' range operator), optional exponent
+            # only when a digit actually follows the sign.
+            end = pos
+            while end < n and text[end].isdigit():
+                end += 1
+            if end < n and text[end] == "." and not text.startswith("..", end):
+                end += 1
+                while end < n and text[end].isdigit():
+                    end += 1
+            if end < n and text[end] in "eE":
+                exp_end = end + 1
+                if exp_end < n and text[exp_end] in "+-":
+                    exp_end += 1
+                if exp_end < n and text[exp_end].isdigit():
+                    end = exp_end
+                    while end < n and text[end].isdigit():
+                        end += 1
+            pos = end
+            continue
+        pos += 1
+
+
+def scan_boundaries(text: str) -> Optional[ModuleBoundaries]:
+    """Token-skim ``text`` and return its function windows, or ``None``
+    when the word-level structure does not match a well-formed module
+    (the caller must fall back to the sequential front end)."""
+    words = list(_words(text))
+    n = len(words)
+
+    def word_at(j: int) -> Optional[str]:
+        return words[j][0] if j < n else None
+
+    if word_at(0) != "module":
+        return None
+    i = 2  # 'module' + its name; a missing/keyword name fails skeleton parse
+    sections: List[SectionBoundaries] = []
+    while word_at(i) == "section":
+        i += 1
+        # Section header: name + 'cells' (the punctuation is invisible).
+        # Skim to the first structural word; a malformed header either
+        # trips the checks below or fails the skeleton parse later.
+        while i < n and word_at(i) not in (
+            "function", "end", "section", "module", "begin",
+        ):
+            i += 1
+        windows: List[FunctionWindow] = []
+        while word_at(i) == "function":
+            fn_start = words[i][1]
+            i += 1
+            # Header: everything up to 'begin'.  A structural word (or
+            # 'end', or EOF) before 'begin' means a malformed header.
+            while i < n and word_at(i) not in (
+                "begin", "end", "function", "section", "module",
+            ):
+                i += 1
+            if word_at(i) != "begin":
+                return None
+            header_end = words[i][1]
+            i += 1
+            depth = 1
+            fn_end: Optional[int] = None
+            while i < n and depth > 0:
+                word = words[i][0]
+                if word in _BLOCK_OPENERS:
+                    depth += 1
+                elif word == "end":
+                    depth -= 1
+                    if depth == 0:
+                        fn_end = words[i][2]
+                elif word == "begin" or word in _STRUCTURE_WORDS:
+                    return None  # cannot nest inside a function body
+                i += 1
+            if fn_end is None:
+                return None  # ran out of input before the body closed
+            windows.append(FunctionWindow(fn_start, header_end, fn_end))
+        if word_at(i) != "end":
+            return None  # section never closed
+        i += 1
+        sections.append(SectionBoundaries(tuple(windows)))
+    if word_at(i) != "end":
+        return None  # module never closed
+    i += 1
+    if i != n:
+        return None  # trailing words after the module end
+    # Trailing *operator* garbage (e.g. a stray ';') is invisible here;
+    # it lands in the final skeleton gap and fails the skeleton parse.
+    return ModuleBoundaries(tuple(sections))

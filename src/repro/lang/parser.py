@@ -170,6 +170,53 @@ class Parser:
             span=self._span_from(start),
         )
 
+    def parse_function(self) -> Optional[ast.Function]:
+        """Parse exactly one function, then require EOF.
+
+        Entry point for the parallel front end: the token stream is one
+        function's byte window (from the boundary scanner), lexed through
+        a :class:`~repro.lang.source.WindowedSource` so every span is
+        absolute.  Unconsumed tokens mean the window and the grammar
+        disagree — an error, which makes the caller fall back to the
+        sequential parse for canonical diagnostics.
+        """
+        fn = self._parse_function()
+        if not self._at(TokenKind.EOF):
+            self._sink.error(
+                f"trailing input after function end: {self._current.text!r}",
+                self._current.span,
+            )
+        return fn
+
+    def parse_function_signature(self) -> Optional[ast.Function]:
+        """Header-only parse: name, parameters, return type.
+
+        Used by the parallel front end's sequential signature pass; the
+        result is a body-less stub whose signature is exactly what the
+        per-function checkers (and the parse-cache key) need.  Tokens
+        after the return type (the ``var`` block) are deliberately left
+        unconsumed — the body window's full parse validates them.
+        Returns ``None`` when the header itself is malformed.
+        """
+        start = self._current.span
+        try:
+            self._expect(TokenKind.FUNCTION)
+            name = self._expect(TokenKind.IDENT).text
+            params = self._parse_params()
+            return_type: Type = VOID
+            if self._accept(TokenKind.COLON):
+                return_type = self._parse_type()
+        except _ParseError:
+            return None
+        return ast.Function(
+            name=name,
+            params=params,
+            return_type=return_type,
+            locals=[],
+            body=[],
+            span=self._span_from(start),
+        )
+
     def _parse_function(self) -> Optional[ast.Function]:
         start = self._current.span
         try:

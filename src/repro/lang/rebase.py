@@ -1,0 +1,130 @@
+"""Span rebasing for cached per-function parse trees.
+
+A parse-cache entry stores a function's checked AST with the absolute
+spans it had when first parsed.  When the same function text reappears
+at a different place in the file (an edit above it inserted or deleted
+lines), the cached tree is still structurally correct but every span is
+stale.  Rebasing rewrites every :class:`~repro.lang.source.Position` by
+the line/offset delta between the old and new window base — columns are
+untouched, which is sound because the cache key includes the window's
+start *column* (see :mod:`repro.cache.parse_store`), so a hit guarantees
+the function begins at the same column and every intra-function column
+is reproduced exactly.  The result is bit-identical to a fresh parse at
+the new location.
+
+The walk mutates the (freshly unpickled, unshared) tree in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .source import Position, Span
+
+
+class _Shifter:
+    """Rewrites positions by a fixed (line, offset) delta."""
+
+    def __init__(self, delta_line: int, delta_offset: int, filename: str):
+        self._dl = delta_line
+        self._do = delta_offset
+        self._filename = filename
+        # Merged spans share Position objects; memoizing keeps the walk
+        # linear and preserves sharing in the rebased tree.
+        self._memo: Dict[Tuple[int, int, int], Position] = {}
+
+    def position(self, pos: Position) -> Position:
+        key = (pos.line, pos.column, pos.offset)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = Position(
+                line=pos.line + self._dl,
+                column=pos.column,
+                offset=pos.offset + self._do,
+            )
+            self._memo[key] = cached
+        return cached
+
+    def span(self, span: Span) -> Span:
+        return Span(
+            self._filename, self.position(span.start), self.position(span.end)
+        )
+
+
+def rebase_function(
+    fn: ast.Function,
+    calls: List[Tuple[str, Span]],
+    old_base: Position,
+    new_base: Position,
+    filename: str,
+) -> List[Tuple[str, Span]]:
+    """Shift every span in ``fn`` (and the call-site list) from
+    ``old_base`` to ``new_base``; returns the rebased call list.
+
+    No-op (returns ``calls`` unchanged) when the base did not move and
+    the filename matches.
+    """
+    delta_line = new_base.line - old_base.line
+    delta_offset = new_base.offset - old_base.offset
+    if delta_line == 0 and delta_offset == 0 and (
+        fn.span.filename == filename
+    ):
+        return calls
+    shifter = _Shifter(delta_line, delta_offset, filename)
+    fn.span = shifter.span(fn.span)
+    for param in fn.params:
+        param.span = shifter.span(param.span)
+    for decl in fn.locals:
+        decl.span = shifter.span(decl.span)
+    for stmt in fn.body:
+        _rebase_stmt(stmt, shifter)
+    return [(callee, shifter.span(span)) for callee, span in calls]
+
+
+def _rebase_stmt(stmt: ast.Stmt, shifter: _Shifter) -> None:
+    stmt.span = shifter.span(stmt.span)
+    if isinstance(stmt, ast.AssignStmt):
+        _rebase_expr(stmt.target, shifter)
+        _rebase_expr(stmt.value, shifter)
+    elif isinstance(stmt, ast.IfStmt):
+        _rebase_expr(stmt.condition, shifter)
+        for s in stmt.then_body:
+            _rebase_stmt(s, shifter)
+        for s in stmt.else_body:
+            _rebase_stmt(s, shifter)
+    elif isinstance(stmt, ast.ForStmt):
+        _rebase_expr(stmt.low, shifter)
+        _rebase_expr(stmt.high, shifter)
+        _rebase_expr(stmt.step, shifter)
+        for s in stmt.body:
+            _rebase_stmt(s, shifter)
+    elif isinstance(stmt, ast.WhileStmt):
+        _rebase_expr(stmt.condition, shifter)
+        for s in stmt.body:
+            _rebase_stmt(s, shifter)
+    elif isinstance(stmt, (ast.ReturnStmt, ast.SendStmt)):
+        _rebase_expr(stmt.value, shifter)
+    elif isinstance(stmt, ast.ReceiveStmt):
+        _rebase_expr(stmt.target, shifter)
+    elif isinstance(stmt, ast.CallStmt):
+        _rebase_expr(stmt.call, shifter)
+    else:  # pragma: no cover - exhaustive over AST statements
+        raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+
+def _rebase_expr(expr: Optional[ast.Expr], shifter: _Shifter) -> None:
+    if expr is None:
+        return
+    expr.span = shifter.span(expr.span)
+    if isinstance(expr, ast.IndexExpr):
+        _rebase_expr(expr.base, shifter)
+        _rebase_expr(expr.index, shifter)
+    elif isinstance(expr, ast.UnaryExpr):
+        _rebase_expr(expr.operand, shifter)
+    elif isinstance(expr, ast.BinaryExpr):
+        _rebase_expr(expr.left, shifter)
+        _rebase_expr(expr.right, shifter)
+    elif isinstance(expr, ast.CallExpr):
+        for arg in expr.args:
+            _rebase_expr(arg, shifter)

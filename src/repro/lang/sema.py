@@ -1,12 +1,24 @@
 """Semantic analysis for the W2-like Warp language (compiler phase 1).
 
-The checker works over a whole *section* at a time: the paper's example of
-why phase 1 must be sequential is exactly a whole-section property — "to
-discover a type mismatch between a function return value and its use at a
-call site, the semantic checker has to process the complete section
-program" (§3.2).  Everything that needs cross-function information lives
-here; phases 2 and 3 (optimization and code generation) then run per
-function and can be farmed out to function masters.
+The checker works over a whole *section* at a time: the paper's example
+of a whole-section property — "to discover a type mismatch between a
+function return value and its use at a call site, the semantic checker
+has to process the complete section program" (§3.2).  The analysis is
+deliberately split to expose exactly how much of it is *really*
+cross-function:
+
+- :func:`check_module_structure` and :func:`section_function_table`
+  are the cheap sequential structure pass (duplicate sections/functions,
+  cell ranges, empty sections);
+- :class:`FunctionChecker` checks one function against a read-only table
+  of its siblings' *signatures* — the only cross-function information a
+  call site needs — so per-function checks can run in parallel;
+- :func:`function_call_sites` + :func:`detect_call_cycles` implement the
+  no-recursion rule over an already-collected call graph.
+
+:class:`SemanticChecker` composes these into the sequential whole-module
+pass; the parallel front end (:func:`repro.driver.phases.phase1_parallel`)
+composes the same pieces with the per-function step fanned out.
 
 Analysis annotates every expression with its type and returns a
 :class:`SemaResult` with per-function symbol tables consumed by lowering.
@@ -15,7 +27,7 @@ Analysis annotates every expression with its type and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from . import ast_nodes as ast
 from .diagnostics import DiagnosticSink
@@ -71,176 +83,197 @@ class SemaResult:
         return self.scopes[(section.name, fn.name)]
 
 
-class SemanticChecker:
-    """Checks one module and annotates its expressions with types."""
+# ---------------------------------------------------------------------------
+# Structure pass (sequential, cheap)
+# ---------------------------------------------------------------------------
 
-    def __init__(self, module: ast.Module, sink: DiagnosticSink):
-        self._module = module
+
+def check_module_structure(module: ast.Module, sink: DiagnosticSink) -> None:
+    """Module-level structural checks: duplicate section names,
+    overlapping/empty cell ranges, no-sections."""
+    seen_sections: Dict[str, ast.Section] = {}
+    claimed_cells: Dict[int, str] = {}
+    for section in module.sections:
+        if section.name in seen_sections:
+            sink.error(
+                f"duplicate section name {section.name!r}", section.span
+            )
+        seen_sections[section.name] = section
+        if section.first_cell > section.last_cell:
+            sink.error(
+                f"section {section.name!r} has an empty cell range "
+                f"{section.first_cell}..{section.last_cell}",
+                section.span,
+            )
+        for cell in range(section.first_cell, section.last_cell + 1):
+            owner = claimed_cells.get(cell)
+            if owner is not None:
+                sink.error(
+                    f"cell {cell} claimed by both section {owner!r} "
+                    f"and section {section.name!r}",
+                    section.span,
+                )
+            else:
+                claimed_cells[cell] = section.name
+    if not module.sections:
+        sink.error(f"module {module.name!r} has no sections", module.span)
+
+
+def section_function_table(
+    section: ast.Section, sink: DiagnosticSink
+) -> Dict[str, ast.Function]:
+    """Name -> function for one section (first definition wins), with
+    duplicate-function and empty-section errors reported in source order."""
+    table: Dict[str, ast.Function] = {}
+    for fn in section.functions:
+        if fn.name in table:
+            sink.error(
+                f"duplicate function {fn.name!r} in section {section.name!r}",
+                fn.span,
+            )
+        else:
+            table[fn.name] = fn
+    if not section.functions:
+        sink.error(f"section {section.name!r} has no functions", section.span)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Call-graph pass (no recursion on stackless cells)
+# ---------------------------------------------------------------------------
+
+
+def collect_calls(stmts: List[ast.Stmt]) -> List[tuple]:
+    """All (callee name, span) pairs appearing in ``stmts``."""
+    found: List[tuple] = []
+
+    def visit_expr(expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.CallExpr):
+            found.append((expr.callee, expr.span))
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.BinaryExpr):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.UnaryExpr):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.IndexExpr):
+            visit_expr(expr.base)
+            visit_expr(expr.index)
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            visit_expr(stmt.target)
+            visit_expr(stmt.value)
+        elif isinstance(stmt, ast.IfStmt):
+            visit_expr(stmt.condition)
+            for s in stmt.then_body:
+                visit_stmt(s)
+            for s in stmt.else_body:
+                visit_stmt(s)
+        elif isinstance(stmt, ast.ForStmt):
+            visit_expr(stmt.low)
+            visit_expr(stmt.high)
+            visit_expr(stmt.step)
+            for s in stmt.body:
+                visit_stmt(s)
+        elif isinstance(stmt, ast.WhileStmt):
+            visit_expr(stmt.condition)
+            for s in stmt.body:
+                visit_stmt(s)
+        elif isinstance(stmt, ast.ReturnStmt):
+            visit_expr(stmt.value)
+        elif isinstance(stmt, ast.SendStmt):
+            visit_expr(stmt.value)
+        elif isinstance(stmt, ast.ReceiveStmt):
+            visit_expr(stmt.target)
+        elif isinstance(stmt, ast.CallStmt):
+            visit_expr(stmt.call)
+
+    for stmt in stmts:
+        visit_stmt(stmt)
+    return found
+
+
+def function_call_sites(fn: ast.Function) -> List[tuple]:
+    """One (callee, first span) edge per distinct callee, name-sorted —
+    the deterministic per-function slice of the section call graph."""
+    first_span_by_callee: Dict[str, object] = {}
+    for callee, span in collect_calls(fn.body):
+        first_span_by_callee.setdefault(callee, span)
+    return sorted(first_span_by_callee.items())
+
+
+def detect_call_cycles(
+    section_name: str, calls: Dict[str, List[tuple]], sink: DiagnosticSink
+) -> None:
+    """Reject recursive call cycles.
+
+    Warp cells have no call stack: a function's scalars live in
+    registers and its arrays are statically allocated, so recursion
+    cannot be supported.  ``calls`` maps each function name to its
+    :func:`function_call_sites` edges; iterative DFS cycle detection.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in calls}
+    for root in calls:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(calls[root]))]
+        color[root] = GRAY
+        while stack:
+            name, edges = stack[-1]
+            advanced = False
+            for callee, span in edges:
+                if callee not in calls:
+                    continue
+                if color[callee] == GRAY:
+                    sink.error(
+                        f"recursive call cycle through {callee!r} in "
+                        f"section {section_name!r} (Warp cells have no "
+                        "call stack)",
+                        span,
+                    )
+                    continue
+                if color[callee] == WHITE:
+                    color[callee] = GRAY
+                    stack.append((callee, iter(calls[callee])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[name] = BLACK
+                stack.pop()
+
+
+# ---------------------------------------------------------------------------
+# Per-function pass (parallelizable: reads only sibling signatures)
+# ---------------------------------------------------------------------------
+
+
+class FunctionChecker:
+    """Checks one function against a read-only sibling table.
+
+    The table needs only *signatures* (name, parameter names/types,
+    return type): call-site checking never looks at a callee's body, so
+    the parallel front end can hand every worker the same cheap stub
+    table and check all functions of a section concurrently.  One
+    instance checks one function; it owns no shared mutable state.
+    """
+
+    def __init__(
+        self,
+        section_functions: Dict[str, ast.Function],
+        sink: DiagnosticSink,
+    ):
+        self._section_functions = section_functions
         self._sink = sink
-        self._result = SemaResult(module)
-        # Per-section function table, rebuilt for each section.
-        self._section_functions: Dict[str, ast.Function] = {}
         self._scope: Optional[FunctionScope] = None
         self._current_fn: Optional[ast.Function] = None
         self._saw_return = False
 
-    def check(self) -> SemaResult:
-        self._check_module_structure()
-        for section in self._module.sections:
-            self._check_section(section)
-        return self._result
-
-    # -- structural checks ---------------------------------------------------
-
-    def _check_module_structure(self) -> None:
-        seen_sections: Dict[str, ast.Section] = {}
-        claimed_cells: Dict[int, str] = {}
-        for section in self._module.sections:
-            if section.name in seen_sections:
-                self._sink.error(
-                    f"duplicate section name {section.name!r}", section.span
-                )
-            seen_sections[section.name] = section
-            if section.first_cell > section.last_cell:
-                self._sink.error(
-                    f"section {section.name!r} has an empty cell range "
-                    f"{section.first_cell}..{section.last_cell}",
-                    section.span,
-                )
-            for cell in range(section.first_cell, section.last_cell + 1):
-                owner = claimed_cells.get(cell)
-                if owner is not None:
-                    self._sink.error(
-                        f"cell {cell} claimed by both section {owner!r} "
-                        f"and section {section.name!r}",
-                        section.span,
-                    )
-                else:
-                    claimed_cells[cell] = section.name
-        if not self._module.sections:
-            self._sink.error(
-                f"module {self._module.name!r} has no sections", self._module.span
-            )
-
-    # -- section / function checks ------------------------------------------
-
-    def _check_section(self, section: ast.Section) -> None:
-        self._section_functions = {}
-        for fn in section.functions:
-            if fn.name in self._section_functions:
-                self._sink.error(
-                    f"duplicate function {fn.name!r} in section {section.name!r}",
-                    fn.span,
-                )
-            else:
-                self._section_functions[fn.name] = fn
-        if not section.functions:
-            self._sink.error(
-                f"section {section.name!r} has no functions", section.span
-            )
-        for fn in section.functions:
-            self._check_function(section, fn)
-        self._check_no_recursion(section)
-
-    def _check_no_recursion(self, section: ast.Section) -> None:
-        """Reject recursive call cycles.
-
-        Warp cells have no call stack: a function's scalars live in
-        registers and its arrays are statically allocated, so recursion
-        cannot be supported.  Like the return-type/call-site check, this is
-        a whole-section property — one more reason phase 1 is sequential.
-        """
-        calls: Dict[str, List[tuple]] = {}
-        for fn in section.functions:
-            first_span_by_callee: Dict[str, object] = {}
-            for callee, span in self._collect_calls(fn.body):
-                first_span_by_callee.setdefault(callee, span)
-            calls[fn.name] = sorted(first_span_by_callee.items())
-        # Iterative DFS cycle detection over the section call graph.
-        WHITE, GRAY, BLACK = 0, 1, 2
-        color = {name: WHITE for name in calls}
-        for root in calls:
-            if color[root] != WHITE:
-                continue
-            stack = [(root, iter(calls[root]))]
-            color[root] = GRAY
-            while stack:
-                name, edges = stack[-1]
-                advanced = False
-                for callee, span in edges:
-                    if callee not in calls:
-                        continue
-                    if color[callee] == GRAY:
-                        self._sink.error(
-                            f"recursive call cycle through {callee!r} in "
-                            f"section {section.name!r} (Warp cells have no "
-                            "call stack)",
-                            span,
-                        )
-                        continue
-                    if color[callee] == WHITE:
-                        color[callee] = GRAY
-                        stack.append((callee, iter(calls[callee])))
-                        advanced = True
-                        break
-                if not advanced:
-                    color[name] = BLACK
-                    stack.pop()
-
-    def _collect_calls(self, stmts: List[ast.Stmt]) -> List[tuple]:
-        """All (callee name, span) pairs appearing in ``stmts``."""
-        found: List[tuple] = []
-
-        def visit_expr(expr: Optional[ast.Expr]) -> None:
-            if expr is None:
-                return
-            if isinstance(expr, ast.CallExpr):
-                found.append((expr.callee, expr.span))
-                for arg in expr.args:
-                    visit_expr(arg)
-            elif isinstance(expr, ast.BinaryExpr):
-                visit_expr(expr.left)
-                visit_expr(expr.right)
-            elif isinstance(expr, ast.UnaryExpr):
-                visit_expr(expr.operand)
-            elif isinstance(expr, ast.IndexExpr):
-                visit_expr(expr.base)
-                visit_expr(expr.index)
-
-        def visit_stmt(stmt: ast.Stmt) -> None:
-            if isinstance(stmt, ast.AssignStmt):
-                visit_expr(stmt.target)
-                visit_expr(stmt.value)
-            elif isinstance(stmt, ast.IfStmt):
-                visit_expr(stmt.condition)
-                for s in stmt.then_body:
-                    visit_stmt(s)
-                for s in stmt.else_body:
-                    visit_stmt(s)
-            elif isinstance(stmt, ast.ForStmt):
-                visit_expr(stmt.low)
-                visit_expr(stmt.high)
-                visit_expr(stmt.step)
-                for s in stmt.body:
-                    visit_stmt(s)
-            elif isinstance(stmt, ast.WhileStmt):
-                visit_expr(stmt.condition)
-                for s in stmt.body:
-                    visit_stmt(s)
-            elif isinstance(stmt, ast.ReturnStmt):
-                visit_expr(stmt.value)
-            elif isinstance(stmt, ast.SendStmt):
-                visit_expr(stmt.value)
-            elif isinstance(stmt, ast.ReceiveStmt):
-                visit_expr(stmt.target)
-            elif isinstance(stmt, ast.CallStmt):
-                visit_expr(stmt.call)
-
-        for stmt in stmts:
-            visit_stmt(stmt)
-        return found
-
-    def _check_function(self, section: ast.Section, fn: ast.Function) -> None:
+    def check(self, fn: ast.Function) -> FunctionScope:
         if fn.name in BUILTIN_FUNCTIONS:
             self._sink.error(
                 f"function {fn.name!r} redefines a hardware intrinsic",
@@ -283,11 +316,11 @@ class SemanticChecker:
                 "but has no return statement",
                 fn.span,
             )
-        self._result.scopes[(section.name, fn.name)] = scope
         self._scope = None
         self._current_fn = None
+        return scope
 
-    # -- statements --------------------------------------------------------------
+    # -- statements ----------------------------------------------------
 
     def _check_stmt(self, stmt: ast.Stmt) -> None:
         if isinstance(stmt, ast.AssignStmt):
@@ -399,7 +432,7 @@ class SemanticChecker:
                 f"condition must be numeric, got {cond_type}", expr.span
             )
 
-    # -- expressions ------------------------------------------------------------
+    # -- expressions ---------------------------------------------------
 
     def _check_lvalue(self, expr: Optional[ast.Expr]) -> Optional[Type]:
         if isinstance(expr, ast.VarRef):
@@ -576,6 +609,36 @@ class SemanticChecker:
                 expr.span,
             )
         return result
+
+
+# ---------------------------------------------------------------------------
+# Whole-module orchestration (the sequential composition of the passes)
+# ---------------------------------------------------------------------------
+
+
+class SemanticChecker:
+    """Checks one module and annotates its expressions with types."""
+
+    def __init__(self, module: ast.Module, sink: DiagnosticSink):
+        self._module = module
+        self._sink = sink
+        self._result = SemaResult(module)
+
+    def check(self) -> SemaResult:
+        check_module_structure(self._module, self._sink)
+        for section in self._module.sections:
+            self._check_section(section)
+        return self._result
+
+    def _check_section(self, section: ast.Section) -> None:
+        table = section_function_table(section, self._sink)
+        for fn in section.functions:
+            checker = FunctionChecker(table, self._sink)
+            self._result.scopes[(section.name, fn.name)] = checker.check(fn)
+        calls = {
+            fn.name: function_call_sites(fn) for fn in section.functions
+        }
+        detect_call_cycles(section.name, calls, self._sink)
 
 
 def _constant_int_value(expr: ast.Expr) -> Optional[int]:

@@ -95,3 +95,39 @@ class SourceFile:
     def count_lines(self) -> int:
         """Number of lines in the file (an empty file has one empty line)."""
         return len(self.line_starts())
+
+
+class WindowedSource:
+    """A slice of a larger source file that reports *absolute* positions.
+
+    The parallel front end lexes each function's byte window (and the
+    skeleton gaps between windows) independently; the lexer only ever
+    touches ``.text``, ``.filename`` and :meth:`position_at`, so a
+    windowed view that translates slice-relative offsets back into
+    whole-file positions makes every token and span come out identical
+    to a sequential lex of the full text — which is what keeps parallel
+    diagnostics and AST spans bit-identical to the sequential parse.
+    """
+
+    def __init__(self, filename: str, text: str, base: Position):
+        self.filename = filename
+        self.text = text
+        self.base = base
+        self._inner = SourceFile(filename, text)
+
+    def position_at(self, offset: int) -> Position:
+        """Absolute position of slice-relative ``offset``."""
+        rel = self._inner.position_at(offset)
+        if rel.line == 1:
+            # Still on the window's first line: columns shift by the
+            # base column (both are 1-based).
+            return Position(
+                line=self.base.line,
+                column=self.base.column + rel.column - 1,
+                offset=self.base.offset + offset,
+            )
+        return Position(
+            line=self.base.line + rel.line - 1,
+            column=rel.column,
+            offset=self.base.offset + offset,
+        )
