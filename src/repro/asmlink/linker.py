@@ -9,7 +9,7 @@ the section's first function.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional
 
 from ..machine.warp_cell import WarpCellModel
 from .assembler import assemble_function
@@ -24,8 +24,18 @@ def link_section(
     section_name: str,
     objects: List[ObjectFunction],
     cell: WarpCellModel,
+    preassembled: Optional[Dict[str, AssembledFunction]] = None,
 ) -> CellProgram:
-    """Assemble and link one section's functions into a cell program."""
+    """Assemble and link one section's functions into a cell program.
+
+    ``preassembled`` maps function names to :class:`AssembledFunction`
+    payloads produced ahead of time by the function masters (distributed
+    assembly).  Assembly is pure — the same object function always
+    assembles to the same bundles — so using a pre-assembled payload is
+    output-identical to assembling here; any function missing from the
+    map (or shipped by a master whose assembly failed) is assembled on
+    the spot, raising the canonical :class:`AssemblyError`.
+    """
     if not objects:
         raise LinkError(f"section {section_name!r} has no functions to link")
     names = [o.name for o in objects]
@@ -41,7 +51,10 @@ def link_section(
                 f"function {obj.name!r} belongs to section "
                 f"{obj.section_name!r}, not {section_name!r}"
             )
-        assembled[obj.name] = assemble_function(obj)
+        ready = (preassembled or {}).get(obj.name)
+        if ready is None:
+            ready = assemble_function(obj)
+        assembled[obj.name] = ready
         frame_bases[obj.name] = base
         base += obj.frame_words
 

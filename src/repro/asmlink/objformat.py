@@ -148,6 +148,22 @@ class AssembledFunction:
     frame_words: int = 0
     info: CodegenInfo = field(default_factory=CodegenInfo)
 
+    def digest_text(self) -> str:
+        """Deterministic printable form of the post-assembly payload.
+
+        Function masters assemble their own object function and seal the
+        result into the task's payload digest; the supervisor re-derives
+        this text to detect a corrupted :class:`AssembledFunction` before
+        it can ever reach the linker.
+        """
+        lines = [
+            f"asm {self.section_name}.{self.name} "
+            f"params=({', '.join(str(r) for r in self.param_regs)}) "
+            f"ret={self.return_bank or 'void'} frame={self.frame_words}"
+        ]
+        lines.extend(f"  {bundle}" for bundle in self.bundles)
+        return "\n".join(lines)
+
 
 @dataclass
 class CellProgram:

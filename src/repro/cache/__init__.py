@@ -15,6 +15,12 @@ A second tier (:mod:`repro.cache.parse_store`) does the same for phase
 1: per-function parse+sema results keyed by span hash, start column,
 and sibling signatures, so editing one function re-*parses* exactly
 that function too.
+
+A third tier (:mod:`repro.cache.link_store`) does the same for phase
+4: per-section linked cell programs keyed by the ordered payload
+digests of their object functions, plus whole download modules keyed
+by the module fingerprint, so editing one function re-*links* exactly
+one section and a fully-warm recompile skips phase 4 entirely.
 """
 
 from .fingerprint import (
@@ -22,6 +28,15 @@ from .fingerprint import (
     compiler_salt,
     function_fingerprint,
     module_fingerprints,
+)
+from .link_store import (
+    LINK_SCHEMA_VERSION,
+    LinkCache,
+    ModuleStore,
+    SectionLinkStore,
+    link_salt,
+    module_link_key,
+    section_link_key,
 )
 from .parse_store import (
     PARSE_SCHEMA_VERSION,
@@ -37,14 +52,21 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "CACHE_SCHEMA_VERSION",
+    "LINK_SCHEMA_VERSION",
+    "LinkCache",
+    "ModuleStore",
     "PARSE_SCHEMA_VERSION",
     "ParseCache",
     "ParseEntry",
+    "SectionLinkStore",
     "compiler_salt",
     "default_cache_dir",
     "function_fingerprint",
+    "link_salt",
     "module_fingerprints",
+    "module_link_key",
     "parse_salt",
+    "section_link_key",
     "signature_table_hash",
     "window_key",
 ]

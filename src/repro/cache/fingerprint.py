@@ -30,7 +30,9 @@ from ..lang import ast_nodes as ast
 
 #: Bump whenever the artifact format or the meaning of a fingerprint
 #: changes; old entries become unreachable rather than wrong.
-CACHE_SCHEMA_VERSION = 1
+#: 2: FunctionTaskResult grew the pre-assembled payload (distributed
+#: assembly) — entries pickled under schema 1 would revive without it.
+CACHE_SCHEMA_VERSION = 2
 
 _SEP = b"\x1f"  # field separator: cannot appear in the encoded text
 

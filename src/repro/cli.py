@@ -78,6 +78,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "parse cache (span-hash keyed incremental front end)",
     )
     compile_cmd.add_argument(
+        "--phase4-jobs", type=int, default=None, metavar="N",
+        help="link N sections concurrently in phase 4 over the function "
+        "masters' pre-assembled payloads (bit-identical to sequential); "
+        "implies --parallel",
+    )
+    compile_cmd.add_argument(
+        "--no-link-cache", action="store_true",
+        help="with --phase4-jobs: disable the persistent link/module "
+        "cache (content-keyed per-section CellPrograms plus whole "
+        "DownloadModules)",
+    )
+    compile_cmd.add_argument(
         "--supervised", action="store_true",
         help="wrap the backend in the supervision layer (deadlines, "
         "straggler hedging, worker quarantine, poison-task isolation); "
@@ -387,6 +399,32 @@ def _parse_cache_stats_line(parse_cache) -> str:
     )
 
 
+def _build_link_cache(args):
+    """The link cache selected by --phase4-jobs / --no-link-cache.
+
+    ``WARPCC_LINK_CACHE_DIR`` overrides the tier's directory when no
+    --cache-dir is given, so nested compiles (the service's workers,
+    subprocess smoke tests) share one link tier.
+    """
+    if args.phase4_jobs is None or args.no_link_cache:
+        return None
+    import os
+
+    from .cache import LinkCache
+
+    return LinkCache(
+        args.cache_dir or os.environ.get("WARPCC_LINK_CACHE_DIR") or None
+    )
+
+
+def _link_cache_stats_line(link_cache) -> str:
+    stats = link_cache.stats
+    return (
+        f"link cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{link_cache.size_bytes()} bytes on disk"
+    )
+
+
 def _cmd_compile(args) -> int:
     source = _read_source(args.file)
     array = WarpArrayModel(cell_count=args.cells)
@@ -394,8 +432,11 @@ def _cmd_compile(args) -> int:
         args.parallel = True  # supervision wraps the parallel backend
     if args.phase1_jobs is not None:
         args.parallel = True  # the parallel front end rides the hierarchy
+    if args.phase4_jobs is not None:
+        args.parallel = True  # the parallel back end rides the hierarchy
     cache = _build_cache(args) if args.parallel else None
     parse_cache = _build_parse_cache(args) if args.parallel else None
+    link_cache = _build_link_cache(args) if args.parallel else None
     try:
         if args.parallel:
             if parse_cache is not None:
@@ -405,6 +446,14 @@ def _cmd_compile(args) -> int:
 
                 os.environ["WARPCC_PARSE_CACHE_DIR"] = str(
                     parse_cache.cache_dir
+                )
+            if link_cache is not None:
+                # Propagated so nested compiles (service workers, smoke
+                # subprocesses) share the same link tier.
+                import os
+
+                os.environ["WARPCC_LINK_CACHE_DIR"] = str(
+                    link_cache.cache_dir
                 )
             backend = (
                 ProcessPoolBackend(args.jobs)
@@ -446,6 +495,7 @@ def _cmd_compile(args) -> int:
                 backend=backend, array=array, opt_level=args.opt_level,
                 cache=cache, owns_backend=True,
                 phase1_jobs=args.phase1_jobs, parse_cache=parse_cache,
+                phase4_jobs=args.phase4_jobs, link_cache=link_cache,
             ) as compiler:
                 result = compiler.compile(source, filename=args.file)
         else:
@@ -486,6 +536,13 @@ def _cmd_compile(args) -> int:
                 "misses": stats.misses,
                 "bytes_on_disk": parse_cache.size_bytes(),
             }
+        if link_cache is not None:
+            stats = link_cache.stats
+            document["link_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "bytes_on_disk": link_cache.size_bytes(),
+            }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 1 if result.profile.failed_functions() else 0
 
@@ -513,6 +570,8 @@ def _cmd_compile(args) -> int:
             print(_cache_stats_line(cache))
         if parse_cache is not None:
             print(_parse_cache_stats_line(parse_cache))
+        if link_cache is not None:
+            print(_link_cache_stats_line(link_cache))
     if result.profile.failed_functions():
         # Poison functions that could not even be compiled in-process:
         # the module is partial, signal it without hiding the rest.

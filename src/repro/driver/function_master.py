@@ -26,7 +26,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..asmlink.objformat import ObjectFunction
+from ..asmlink.assembler import assemble_function
+from ..asmlink.objformat import AssembledFunction, ObjectFunction
 from ..machine.warp_array import WarpArrayModel
 from .phases import (
     ParsedProgram,
@@ -77,15 +78,43 @@ class FunctionTaskResult:
     #: fault-injection suite's simulated workers report it; real pools
     #: leave it None).  Drives the supervisor's health tracking.
     worker: Optional[str] = None
+    #: distributed assembly (phase 4, layer 1): the function master
+    #: assembles its own object function so assembly rides the phase-2/3
+    #: parallelism instead of the sequential link tail.  None when the
+    #: object code cannot assemble — the linker then assembles it itself
+    #: and raises the canonical AssemblyError.
+    assembled: Optional[AssembledFunction] = None
 
 
 def result_payload_digest(result: FunctionTaskResult) -> str:
     """Canonical digest of a result's object-code payload.
 
-    Covers exactly what the linker consumes (the object function's
-    deterministic printable form) — not diagnostics or telemetry, which
+    Covers exactly what the linker consumes — the object function's
+    deterministic printable form plus, when the function master shipped
+    one, the pre-assembled form — not diagnostics or telemetry, which
     the master legitimately rewrites on cache hits."""
-    return hashlib.sha256(result.obj.digest_text().encode("utf-8")).hexdigest()
+    hasher = hashlib.sha256(result.obj.digest_text().encode("utf-8"))
+    assembled = getattr(result, "assembled", None)
+    if assembled is not None:
+        hasher.update(b"\x1f")
+        hasher.update(assembled.digest_text().encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def attach_assembly(result: FunctionTaskResult) -> FunctionTaskResult:
+    """Assemble the result's object function and seal the payload digest.
+
+    Assembly failures are deliberately swallowed: the result ships with
+    ``assembled=None`` and the linker (sequential or parallel) assembles
+    the object function itself, raising the same :class:`AssemblyError`
+    the sequential compiler would — byte-identical diagnostics.
+    """
+    try:
+        result.assembled = assemble_function(result.obj)
+    except Exception:  # noqa: BLE001 - any failure defers to the linker
+        result.assembled = None
+    result.payload_digest = result_payload_digest(result)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -230,8 +259,7 @@ def run_function_master(task: FunctionTask) -> FunctionTaskResult:
         report=report,
         diagnostics=[d.render() for d in parsed.sink.diagnostics],
     )
-    result.payload_digest = result_payload_digest(result)
-    return result
+    return attach_assembly(result)
 
 
 def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
@@ -265,8 +293,7 @@ def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
             report=report,
             diagnostics=rendered if position == 0 else [],
         )
-        result.payload_digest = result_payload_digest(result)
-        results.append(result)
+        results.append(attach_assembly(result))
     return results
 
 

@@ -16,8 +16,14 @@
    download-module construction).
 
 Phases 2 and 3 run per function — :func:`compile_one_function` is the
-exact unit of work a function master executes.  Phase 4 is cheap and
-stays sequential.
+exact unit of work a function master executes.  Phase 4 has the same
+two gears as phase 1: :func:`phase4_link_and_download` is the canonical
+sequential tail, and :func:`phase4_parallel` /:class:`Phase4Runner` run
+per-section links concurrently (sections are independent by
+construction) over pre-assembled function-master payloads, with a
+persistent link/module cache (:mod:`repro.cache.link_store`) and a
+sequential fallback on any irregularity so diagnostics and digests stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -26,13 +32,22 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache.link_store import LinkCache
+    from .section_master import CombinedSection
 
 from ..asmlink.download import build_download_module, module_size_words
 from ..asmlink.iodriver import build_io_driver
 from ..asmlink.linker import link_section, link_work_units
-from ..asmlink.assembler import assembly_work_units
-from ..asmlink.objformat import DownloadModule, ObjectFunction
+from ..asmlink.assembler import assemble_function, assembly_work_units
+from ..asmlink.objformat import (
+    AssembledFunction,
+    CellProgram,
+    DownloadModule,
+    ObjectFunction,
+)
 from ..codegen.compiler import compile_function
 from ..ir.lowering import lower_function
 from ..ir.loops import loop_nest_weight
@@ -577,3 +592,420 @@ def phase4_link_and_download(
     )
     build_io_driver(module.cell_programs)  # validates I/O wiring
     return module, assembly_work, link_work
+
+
+# ---------------------------------------------------------------------------
+# Parallel + incremental phase 4.
+#
+# Sections are independent by construction — link_section reads one
+# section's object functions and the cell model, nothing else — so the
+# per-section links can run concurrently, and each one can start the
+# moment its streaming recombiner completes.  Assembly itself has
+# already been *distributed*: function masters ship an
+# AssembledFunction beside each ObjectFunction, so the link jobs mostly
+# just lay out pre-assembled code.  Everything below mirrors the
+# phase-1 contract: the sequential phase4_link_and_download stays the
+# canonical oracle, and any irregularity on the fast path (a poisoned
+# or failed function, a validation error, an exception in a link job)
+# falls back to it wholesale so diagnostics and digests stay
+# byte-identical.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Phase4Stats:
+    """Telemetry for one phase-4 run (either back end).
+
+    ``assembly_ms``/``link_ms`` are *aggregate* worker time summed over
+    link jobs, so they measure work, not wall clock.  The
+    ``section_*_work`` lists are deterministic work units feeding
+    :func:`phase4_critical_path_work`.
+    """
+
+    mode: str = "sequential"  # sequential | parallel | cached | fallback
+    jobs: int = 1
+    assembly_ms: float = 0.0
+    link_ms: float = 0.0
+    link_cache_hits: int = 0
+    link_cache_misses: int = 0
+    module_cache_hit: bool = False
+    fallback_reason: Optional[str] = None
+    #: per-section assembly work units, in module order (what the
+    #: function masters absorbed via distributed assembly)
+    section_assembly_work: List[int] = field(default_factory=list)
+    #: per-section link work units, in module order
+    section_link_work: List[int] = field(default_factory=list)
+    #: sequential tail: download-module replication + I/O driver
+    #: bookkeeping (cells used plus one unit per section)
+    tail_work: int = 0
+
+
+def default_phase4_jobs() -> int:
+    """Same sizing heuristic as the warm worker farm: all cores but one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def phase4_critical_path_work(
+    stats: Phase4Stats, jobs: int, distributed_assembly: bool = True
+) -> int:
+    """Deterministic work-unit model of phase 4's critical path.
+
+    LPT-schedules the per-section work onto ``jobs`` link workers and
+    returns the sequential tail work plus the busiest worker's load.
+    With ``distributed_assembly`` each section costs only its link work
+    (assembly rode the phase-2/3 function masters); without it, each
+    section also pays its assembly work inline — ``jobs=1`` with
+    ``distributed_assembly=False`` is exactly the sequential back end.
+    Wall clock on a CPython thread pool is GIL-bound, so this
+    machine-independent critical path is what the benchmarks guard.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    per_section = list(stats.section_link_work)
+    if not distributed_assembly:
+        per_section = [
+            a + l for a, l in zip(stats.section_assembly_work, per_section)
+        ]
+    loads = [0] * jobs
+    for work in sorted(per_section, reverse=True):
+        loads[loads.index(min(loads))] += work
+    return stats.tail_work + (max(loads) if loads else 0)
+
+
+def _assembly_matches(asm: AssembledFunction, obj: ObjectFunction) -> bool:
+    """Cheap sanity check that a shipped pre-assembled payload belongs
+    to this object function; a mismatch (corruption the supervisor did
+    not see, or a hand-built result) means: assemble fresh."""
+    return (
+        asm.name == obj.name
+        and asm.section_name == obj.section_name
+        and asm.frame_words == obj.frame_words
+        and len(asm.bundles) == obj.bundle_count()
+    )
+
+
+class Phase4Runner:
+    """Streaming parallel back end: one link job per combined section.
+
+    The driver hands each :class:`~repro.driver.section_master.CombinedSection`
+    to :meth:`section_ready` as the streaming recombiner completes it —
+    link jobs overlap the remaining phase-2/3 compiles — then calls
+    :meth:`finish` to gather the programs and build the download
+    module.  With a :class:`~repro.cache.link_store.LinkCache`, each
+    job first consults the section tier, and :meth:`lookup_module` can
+    skip phase 4 entirely on a fully-warm recompile.
+
+    Any irregularity — a poisoned or failed function, a range-validation
+    error, a duplicate delivery, an exception in any link job — taints
+    the run and :meth:`finish` falls back to the sequential
+    :func:`phase4_link_and_download`, which re-raises the canonical
+    error or re-links everything; either way the output is byte-for-byte
+    what the sequential compiler produces.
+    """
+
+    def __init__(
+        self,
+        parsed: ParsedProgram,
+        array: WarpArrayModel,
+        diagnostics_text: str = "",
+        jobs: Optional[int] = None,
+        link_cache: Optional["LinkCache"] = None,
+        stats: Optional[Phase4Stats] = None,
+    ):
+        self.parsed = parsed
+        self.array = array
+        self.diagnostics_text = diagnostics_text
+        self.jobs = jobs if jobs is not None else default_phase4_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        self.link_cache = link_cache
+        self.stats = stats if stats is not None else Phase4Stats()
+        self.stats.jobs = self.jobs
+        self._sections = {s.name: s for s in parsed.module.sections}
+        self._futures: Dict[str, object] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._taint_reason: Optional[str] = None
+
+    # -- irregularity handling ----------------------------------------
+
+    def _taint(self, reason: str) -> None:
+        if self._taint_reason is None:
+            self._taint_reason = reason
+
+    @staticmethod
+    def _combined_clean(combined: "CombinedSection") -> bool:
+        return not any(
+            getattr(report, "poisoned", 0) or getattr(report, "failed", 0)
+            for report in combined.reports
+        )
+
+    # -- module tier ---------------------------------------------------
+
+    def _module_key(self, combined: Dict[str, "CombinedSection"]) -> str:
+        from ..cache.link_store import module_link_key
+
+        material = [
+            (
+                section.name,
+                section.first_cell,
+                section.last_cell,
+                combined[section.name].payload_digests,
+            )
+            for section in self.parsed.module.sections
+        ]
+        return module_link_key(
+            self.parsed.module.name,
+            material,
+            self.diagnostics_text,
+            self.array.cell.data_memory_words,
+            self.array.cell_count,
+        )
+
+    def lookup_module(
+        self, combined: Dict[str, "CombinedSection"]
+    ) -> Optional[DownloadModule]:
+        """Whole-module cache probe; requires every section combined.
+
+        Only clean modules are eligible: anything touched by poison
+        isolation goes through the sequential oracle instead.
+        """
+        if self.link_cache is None:
+            return None
+        try:
+            for section in self.parsed.module.sections:
+                if section.name not in combined:
+                    return None
+                if not self._combined_clean(combined[section.name]):
+                    return None
+                self.array.validate_section_range(
+                    section.first_cell, section.last_cell
+                )
+            module = self.link_cache.modules.get(self._module_key(combined))
+        except Exception as exc:  # noqa: BLE001 - probe must never fail
+            self._taint(f"module cache probe failed: {exc!r}")
+            return None
+        if module is None:
+            return None
+        self.stats.mode = "cached"
+        self.stats.module_cache_hit = True
+        return module
+
+    # -- section tier --------------------------------------------------
+
+    def section_ready(self, combined: "CombinedSection") -> None:
+        """Submit one recombined section's link job (non-blocking)."""
+        if self._taint_reason is not None:
+            return
+        section = self._sections.get(combined.section_name)
+        if section is None:
+            self._taint(f"unknown section {combined.section_name!r}")
+            return
+        if combined.section_name in self._futures:
+            self._taint(f"duplicate section {combined.section_name!r}")
+            return
+        if not self._combined_clean(combined):
+            self._taint(
+                f"section {combined.section_name!r} has poisoned or "
+                f"failed functions"
+            )
+            return
+        try:
+            self.array.validate_section_range(
+                section.first_cell, section.last_cell
+            )
+        except Exception as exc:  # noqa: BLE001 - canonical error on fallback
+            self._taint(f"range validation: {exc}")
+            return
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="warpcc-phase4"
+            )
+        self._futures[combined.section_name] = self._executor.submit(
+            self._link_one, section, combined
+        )
+
+    def _link_one(self, section: ast.Section, combined: "CombinedSection"):
+        """One link job: section-cache probe, assembly top-up, link."""
+        key = None
+        if self.link_cache is not None:
+            from ..cache.link_store import section_link_key
+
+            key = section_link_key(
+                section.name,
+                section.first_cell,
+                section.last_cell,
+                combined.payload_digests,
+                self.array.cell.data_memory_words,
+            )
+            program = self.link_cache.sections.get(key)
+            if program is not None:
+                return program, True, 0.0, 0.0
+        preassembled = dict(combined.assembled)
+        start = time.perf_counter()
+        for obj in combined.objects:
+            ready = preassembled.get(obj.name)
+            if ready is not None and not _assembly_matches(ready, obj):
+                ready = None
+            if ready is None:
+                preassembled[obj.name] = assemble_function(obj)
+        assembled_at = time.perf_counter()
+        program = link_section(
+            section.name,
+            combined.objects,
+            self.array.cell,
+            preassembled=preassembled,
+        )
+        linked_at = time.perf_counter()
+        if key is not None:
+            self.link_cache.sections.put(key, program)
+        return (
+            program,
+            False,
+            assembled_at - start,
+            linked_at - assembled_at,
+        )
+
+    # -- completion ----------------------------------------------------
+
+    def _work_model(self, combined: Dict[str, "CombinedSection"]) -> Tuple[int, int]:
+        """Fill the deterministic work model; identical on every path."""
+        self.stats.section_assembly_work = []
+        self.stats.section_link_work = []
+        tail = 0
+        for section in self.parsed.module.sections:
+            objs = combined[section.name].objects
+            self.stats.section_assembly_work.append(
+                sum(assembly_work_units(o) for o in objs)
+            )
+            self.stats.section_link_work.append(link_work_units(objs))
+            tail += (section.last_cell - section.first_cell + 1) + 1
+        self.stats.tail_work = tail
+        return (
+            sum(self.stats.section_assembly_work),
+            sum(self.stats.section_link_work),
+        )
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def finish(
+        self,
+        combined: Dict[str, "CombinedSection"],
+        cached_module: Optional[DownloadModule] = None,
+    ) -> Tuple[DownloadModule, int, int]:
+        """Gather link jobs and build the module; returns the same
+        ``(module, assembly_work, link_work)`` triple as the sequential
+        :func:`phase4_link_and_download`."""
+        try:
+            assembly_work, link_work = self._work_model(combined)
+            if cached_module is not None:
+                return cached_module, assembly_work, link_work
+            reason = self._taint_reason
+            if reason is None:
+                try:
+                    module = self._gather(combined)
+                    if self.stats.mode != "cached":
+                        self.stats.mode = "parallel"
+                    return module, assembly_work, link_work
+                except Exception as exc:  # noqa: BLE001 - fall back wholesale
+                    reason = f"{type(exc).__name__}: {exc}"
+            # Sequential fallback: the canonical oracle re-links (or
+            # re-raises the canonical first error).
+            self.stats.mode = "fallback"
+            self.stats.fallback_reason = reason
+            objects = {
+                name: section.objects for name, section in combined.items()
+            }
+            return phase4_link_and_download(
+                self.parsed, objects, self.array, self.diagnostics_text
+            )
+        finally:
+            self._shutdown()
+
+    def _gather(self, combined: Dict[str, "CombinedSection"]) -> DownloadModule:
+        section_cells: Dict[str, Tuple[int, int]] = {}
+        programs: Dict[str, CellProgram] = {}
+        clean = True
+        for section in self.parsed.module.sections:
+            self.array.validate_section_range(
+                section.first_cell, section.last_cell
+            )
+            section_cells[section.name] = (
+                section.first_cell,
+                section.last_cell,
+            )
+            future = self._futures.get(section.name)
+            if future is not None:
+                outcome = future.result()
+            else:
+                # A section the driver never announced (barrier-style
+                # callers): link it inline on the gathering thread.
+                if not self._combined_clean(combined[section.name]):
+                    raise SectionTaintedError(section.name)
+                outcome = self._link_one(section, combined[section.name])
+            program, hit, assembly_s, link_s = outcome
+            clean = clean and self._combined_clean(combined[section.name])
+            if hit:
+                self.stats.link_cache_hits += 1
+            else:
+                self.stats.link_cache_misses += 1
+            self.stats.assembly_ms += assembly_s * 1000.0
+            self.stats.link_ms += link_s * 1000.0
+            programs[section.name] = program
+        module = build_download_module(
+            self.parsed.module.name, section_cells, programs,
+            self.diagnostics_text,
+        )
+        build_io_driver(module.cell_programs)  # validates I/O wiring
+        if self.link_cache is not None and clean:
+            try:
+                self.link_cache.modules.put(self._module_key(combined), module)
+            except Exception:  # noqa: BLE001 - cache write is best-effort
+                pass
+        return module
+
+
+class SectionTaintedError(Exception):
+    """A poisoned/failed section reached the parallel back end."""
+
+    def __init__(self, section_name: str):
+        super().__init__(
+            f"section {section_name!r} has poisoned or failed functions"
+        )
+
+
+def phase4_parallel(
+    parsed: ParsedProgram,
+    combined: Dict[str, "CombinedSection"],
+    array: WarpArrayModel,
+    diagnostics_text: str = "",
+    jobs: Optional[int] = None,
+    link_cache: Optional["LinkCache"] = None,
+    stats: Optional[Phase4Stats] = None,
+) -> Tuple[DownloadModule, int, int]:
+    """Barrier-style parallel + incremental phase 4.
+
+    ``combined`` maps section name -> recombined section (what
+    ``StreamingSectionCombiner.finalize`` returns).  Probes the module
+    cache, else links every section concurrently on ``jobs`` threads.
+    Output is bit-identical to :func:`phase4_link_and_download`; any
+    irregularity falls back to it.  Returns (module, assembly work,
+    link work).
+    """
+    runner = Phase4Runner(
+        parsed,
+        array,
+        diagnostics_text,
+        jobs=jobs,
+        link_cache=link_cache,
+        stats=stats,
+    )
+    cached = runner.lookup_module(combined)
+    if cached is None:
+        for section in parsed.module.sections:
+            ready = combined.get(section.name)
+            if ready is not None:
+                runner.section_ready(ready)
+    return runner.finish(combined, cached_module=cached)

@@ -92,6 +92,18 @@ class WorkProfile:
     #: memo counted on the function reports).
     parse_cache_hits: int = 0
     parse_cache_misses: int = 0
+    #: wall-time telemetry for phase 4 (aggregate link-job time on the
+    #: parallel back end) and which back end ran: ``sequential``,
+    #: ``parallel``, ``cached`` (whole-module cache hit, phase 4
+    #: skipped), or ``fallback`` (parallel path bailed to sequential).
+    phase4_assembly_ms: float = 0.0
+    phase4_link_ms: float = 0.0
+    phase4_mode: str = "sequential"
+    #: link-cache counters for this compile's phase 4 (per-section
+    #: CellProgram tier; a whole-module hit reports mode ``cached``
+    #: with zero section probes).
+    link_cache_hits: int = 0
+    link_cache_misses: int = 0
     functions: List[FunctionReport] = field(default_factory=list)
     assembly_work: int = 0
     link_work: int = 0
@@ -179,6 +191,11 @@ class WorkProfile:
             "phase1_mode": self.phase1_mode,
             "parse_cache_hits": self.parse_cache_hits,
             "parse_cache_misses": self.parse_cache_misses,
+            "phase4_assembly_ms": self.phase4_assembly_ms,
+            "phase4_link_ms": self.phase4_link_ms,
+            "phase4_mode": self.phase4_mode,
+            "link_cache_hits": self.link_cache_hits,
+            "link_cache_misses": self.link_cache_misses,
             "assembly_work": self.assembly_work,
             "link_work": self.link_work,
             "download_words": self.download_words,

@@ -22,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..asmlink.objformat import ObjectFunction
+from ..asmlink.objformat import AssembledFunction, ObjectFunction
 from ..lang import ast_nodes as ast
-from .function_master import FunctionTaskResult
+from .function_master import FunctionTaskResult, result_payload_digest
 from .results import FunctionReport
 
 
@@ -42,6 +42,13 @@ class CombinedSection:
     diagnostics: List[str] = field(default_factory=list)
     #: work proxy for the recombination itself (drives the cost model)
     combine_work: int = 0
+    #: distributed-assembly payloads, keyed by function name (functions
+    #: whose master's assembly failed are absent; the linker assembles
+    #: them itself)
+    assembled: Dict[str, AssembledFunction] = field(default_factory=dict)
+    #: per-function payload digests in source order — the content
+    #: fingerprints the link cache keys a section's CellProgram by
+    payload_digests: List[str] = field(default_factory=list)
 
 
 def combine_section_results(
@@ -80,6 +87,14 @@ def combine_section_results(
         combined.reports.append(result.report)
         combined.diagnostics.extend(result.diagnostics)
         combined.combine_work += result.obj.bundle_count() + 1
+        # getattr: results built by hand in older tests (and artifacts
+        # pickled before the schema bump) may predate the field.
+        assembled = getattr(result, "assembled", None)
+        if assembled is not None:
+            combined.assembled[name] = assembled
+        combined.payload_digests.append(
+            result.payload_digest or result_payload_digest(result)
+        )
     return combined
 
 
@@ -133,6 +148,15 @@ class StreamingSectionCombiner:
     @property
     def sections_combined(self) -> int:
         return len(self._combined)
+
+    def combined_sections(self) -> List[CombinedSection]:
+        """Sections combined so far, in module order — lets the driver
+        start linking cache-served sections before any task returns."""
+        return [
+            self._combined[name]
+            for name in self._sections
+            if name in self._combined
+        ]
 
     def finalize(self) -> Dict[str, CombinedSection]:
         """Combine any not-yet-complete sections (raising on missing

@@ -69,6 +69,7 @@ ALL_PIPELINES: Tuple[str, ...] = (
     "warm-pool",
     "cache",
     "phase1",
+    "phase4",
     "supervised",
     "chaos",
 )
@@ -269,6 +270,8 @@ class DifferentialOracle:
             return self._compile_cache_variant(source, **kwargs)
         if name == "phase1":
             return self._compile_phase1_variant(source, **kwargs)
+        if name == "phase4":
+            return self._compile_phase4_variant(source, **kwargs)
         if name == "supervised":
             from ..parallel.supervisor import SupervisedBackend
 
@@ -364,6 +367,47 @@ class DifferentialOracle:
             ):
                 raise OracleInvariantError(
                     "warm recompile served no parse-cache hits"
+                )
+            return warm
+
+    def _compile_phase4_variant(self, source: str, *, array, opt_level):
+        """Link-cache-cold parallel phase 4, then a fully-warm recompile.
+
+        The cold run links every section concurrently (2 link threads)
+        over pre-assembled payloads; the warm run serves phases 2/3 from
+        the artifact cache and must skip phase 4 via the whole-module
+        tier.  Digests must match across the pair, and — combined with
+        the generic digest check against the sequential baseline — that
+        pins sequential == parallel == cached phase-4 output."""
+        with tempfile.TemporaryDirectory(prefix="warpcc-fuzz-link-") as tmp:
+            from ..cache import LinkCache
+
+            compiler = ParallelCompiler(
+                backend=SerialBackend(),
+                array=array,
+                opt_level=opt_level,
+                cache=ArtifactCache(tmp),
+                phase4_jobs=2,
+                link_cache=LinkCache(tmp),
+            )
+            cold = compiler.compile(source)
+            cold_stats = compiler.last_phase4_stats
+            warm = compiler.compile(source)
+            warm_stats = compiler.last_phase4_stats
+            if cold.digest != warm.digest:
+                raise OracleInvariantError(
+                    "link-cache-warm digest diverged from cold: "
+                    f"{warm.digest} != {cold.digest}"
+                )
+            if (
+                cold_stats is not None
+                and cold_stats.mode == "parallel"
+                and warm_stats is not None
+                and warm_stats.mode != "cached"
+            ):
+                raise OracleInvariantError(
+                    "fully-warm recompile did not hit the module cache "
+                    f"(mode {warm_stats.mode!r})"
                 )
             return warm
 

@@ -282,6 +282,11 @@ class ChaosBackend:
     - **corrupt** (``corrupt_rate``): the attempt succeeds but its
       payload is scribbled on *after* the function master sealed its
       payload digest — a damaged IPC message;
+    - **corrupt assembly** (``corrupt_assembly_rate``): the attempt
+      succeeds but the *pre-assembled* payload (distributed assembly)
+      is scribbled on after the digest was sealed — the object function
+      is intact, so only validation of the assembled half can catch it
+      before the linker lays out a frame size that was never compiled;
     - **worker death** (``dead_workers``): every attempt assigned to a
       dead worker fails — a rebooted host.  Combined with the
       supervisor's quarantine this exercises graceful degradation;
@@ -304,6 +309,7 @@ class ChaosBackend:
         hang_rate: float = 0.0,
         hang_delay: float = 0.25,
         corrupt_rate: float = 0.0,
+        corrupt_assembly_rate: float = 0.0,
         dead_workers: Tuple[str, ...] = (),
         poison: Tuple[Tuple[str, Optional[str]], ...] = (),
         max_failures_per_task: Optional[int] = None,
@@ -317,6 +323,7 @@ class ChaosBackend:
             ("crash_rate", crash_rate),
             ("hang_rate", hang_rate),
             ("corrupt_rate", corrupt_rate),
+            ("corrupt_assembly_rate", corrupt_assembly_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -327,6 +334,7 @@ class ChaosBackend:
         self.hang_rate = hang_rate
         self.hang_delay = hang_delay
         self.corrupt_rate = corrupt_rate
+        self.corrupt_assembly_rate = corrupt_assembly_rate
         self.dead_workers = frozenset(dead_workers)
         self.poison = frozenset(poison)
         self.max_failures_per_task = max_failures_per_task
@@ -338,10 +346,12 @@ class ChaosBackend:
         self._failures: Dict[Tuple[str, Optional[str]], int] = {}
         self._hangs: Dict[Tuple[str, Optional[str]], int] = {}
         self._corruptions: Dict[Tuple[str, Optional[str]], int] = {}
+        self._asm_corruptions: Dict[Tuple[str, Optional[str]], int] = {}
         #: telemetry, per fault class
         self.injected_crashes = 0
         self.injected_hangs = 0
         self.injected_corruptions = 0
+        self.injected_assembly_corruptions = 0
 
     @property
     def worker_count(self) -> int:
@@ -397,6 +407,11 @@ class ChaosBackend:
             crash_draw = rng.random()
             hang_draw = rng.random()
             corrupt_draw = rng.random()
+            # Drawn only when the fault class is armed, so seeds replay
+            # the exact same schedules they produced before it existed.
+            asm_draw = (
+                rng.random() if self.corrupt_assembly_rate > 0 else 1.0
+            )
             yield ("start", task)
 
             if key in self.poison:
@@ -461,6 +476,19 @@ class ChaosBackend:
             if corrupt and results:
                 self.injected_corruptions += 1
                 self._corruptions[key] = self._corruptions.get(key, 0) + 1
+            corrupt_asm = (
+                asm_draw < self.corrupt_assembly_rate
+                and self._asm_corruptions.get(key, 0)
+                < self.max_corruptions_per_task
+                and any(
+                    getattr(r, "assembled", None) is not None for r in results
+                )
+            )
+            if corrupt_asm:
+                self.injected_assembly_corruptions += 1
+                self._asm_corruptions[key] = (
+                    self._asm_corruptions.get(key, 0) + 1
+                )
             for position, result in enumerate(results):
                 result.worker = worker
                 if corrupt and position == 0:
@@ -468,6 +496,13 @@ class ChaosBackend:
                     # sealed: the frame size silently changes, which
                     # would mislink — unless validation catches it.
                     result.obj.frame_words += 9973
+                if corrupt_asm and result.assembled is not None:
+                    # Scribble only the *pre-assembled* half: the object
+                    # function still matches its own digest text, so a
+                    # validator that ignores the assembled payload would
+                    # happily link a frame size nobody compiled.
+                    result.assembled.frame_words += 7717
+                    corrupt_asm = False  # first assembled result only
                 yield ("result", result)
 
     def run_tasks_partial(

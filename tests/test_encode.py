@@ -108,3 +108,29 @@ class TestRobustness:
         """The binary form is smaller than the textual digest."""
         data = encode_module(compiled.download)
         assert len(data) < len(compiled.digest.encode("utf-8"))
+
+
+class TestSeededRoundTripProperty:
+    """Seeded generator property: for every size class, the binary
+    encoding is lossless down to the module digest — the invariant the
+    link/module cache and the download path both lean on."""
+
+    @pytest.mark.parametrize(
+        "size_class", ["tiny", "small", "medium", "large", "huge"]
+    )
+    def test_decode_encode_preserves_module_digest(self, size_class):
+        from repro.fuzz import config_for_size_class, generate_program
+
+        config = config_for_size_class(size_class)
+        seeds = range(5) if size_class in ("large", "huge") else range(12)
+        for seed in seeds:
+            source = generate_program(seed, config).source
+            compiled = SequentialCompiler().compile(source)
+            decoded = decode_module(encode_module(compiled.download))
+            assert module_digest(decoded) == compiled.digest, (
+                f"{size_class} seed {seed}"
+            )
+            assert decoded.cells_used == compiled.download.cells_used
+            assert decoded.diagnostics_text == (
+                compiled.download.diagnostics_text
+            )

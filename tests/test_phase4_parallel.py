@@ -1,0 +1,476 @@
+"""Parallel + incremental phase 4: bit-identity with the sequential
+back end, and the link/module cache's invalidation contract.
+
+The headline property mirrors the paper's own correctness requirement
+(recombined parallel output must be bit-identical to sequential, §3.2)
+at the back end: over 200 generator seeds across size classes, the
+download module produced by :func:`phase4_parallel` — cold, warm
+(section tier), and fully warm (module tier) — has the same
+:func:`module_digest` as the sequential
+:func:`phase4_link_and_download`.  Error paths raise the identical
+canonical diagnostics via wholesale fallback, and a 1-function edit on
+a warm link cache re-links exactly one section.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.asmlink.download import module_digest
+from repro.cache import ArtifactCache, LinkCache
+from repro.driver.function_master import FunctionTask, run_compile_task
+from repro.driver.master import ParallelCompiler
+from repro.driver.phases import (
+    Phase4Runner,
+    Phase4Stats,
+    phase1_parse_and_check,
+    phase4_critical_path_work,
+    phase4_link_and_download,
+    phase4_parallel,
+)
+from repro.driver.section_master import combine_section_results
+from repro.driver.sequential import SequentialCompiler
+from repro.fuzz import config_for_size_class, generate_program
+from repro.lang.diagnostics import CompileError
+from repro.machine.warp_array import WarpArrayModel
+from repro.parallel.local import SerialBackend
+
+
+def _combined_for(source, array=None):
+    """Phases 1-3 once, recombined per section — phase 4's input."""
+    parsed = phase1_parse_and_check(source)
+    combined = {}
+    for section in parsed.module.sections:
+        results = run_compile_task(
+            FunctionTask(source, "<t>", section.name, None)
+        )
+        combined[section.name] = combine_section_results(section, results)
+    return parsed, combined
+
+
+def _objects(combined):
+    return {name: sec.objects for name, sec in combined.items()}
+
+
+ARRAY = WarpArrayModel(cell_count=10)
+
+
+# ---------------------------------------------------------------------------
+# 200-seed matrix: sequential vs parallel vs cache-warm
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("block", range(4))
+def test_parallel_phase4_matches_sequential_across_seeds(block):
+    """200 consecutive seeds (50 per block): the parallel back end —
+    cold, section-tier warm, and module-tier warm — produces a module
+    digest bit-identical to the sequential tail."""
+    size_class = ("tiny", "small", "medium", "small")[block]
+    config = config_for_size_class(size_class)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = LinkCache(tmp)
+        for seed in range(block * 50, block * 50 + 50):
+            source = generate_program(seed, config).source
+            parsed, combined = _combined_for(source)
+            seq_module, seq_aw, seq_lw = phase4_link_and_download(
+                parsed, _objects(combined), ARRAY
+            )
+            want = module_digest(seq_module)
+            # Plain parallel, no cache.
+            stats = Phase4Stats()
+            par_module, par_aw, par_lw = phase4_parallel(
+                parsed, combined, ARRAY, jobs=2, stats=stats
+            )
+            assert module_digest(par_module) == want, (
+                f"{size_class} seed {seed}"
+            )
+            assert stats.mode == "parallel", (
+                f"{size_class} seed {seed} fell back: {stats.fallback_reason}"
+            )
+            assert (par_aw, par_lw) == (seq_aw, seq_lw)
+            # Cold through the cache: every section is a miss.
+            cold = Phase4Stats()
+            cold_module, _, _ = phase4_parallel(
+                parsed, combined, ARRAY, jobs=2, link_cache=cache, stats=cold
+            )
+            assert module_digest(cold_module) == want
+            assert cold.link_cache_misses == len(parsed.module.sections)
+            assert cold.link_cache_hits == 0
+            # Fully warm: the module tier answers, phase 4 is skipped.
+            warm = Phase4Stats()
+            warm_module, _, _ = phase4_parallel(
+                parsed, combined, ARRAY, jobs=2, link_cache=cache, stats=warm
+            )
+            assert module_digest(warm_module) == want
+            assert warm.mode == "cached"
+            assert warm.module_cache_hit
+
+
+# ---------------------------------------------------------------------------
+# Hand-built multi-section module for the incremental tests
+# ---------------------------------------------------------------------------
+
+SECTIONS = 3
+SOURCE = """
+module m
+  section a (cells 0..2)
+    function a1(): int begin return 11; end
+    function a2(): int begin return 12; end
+  end
+  section b (cells 3..5)
+    function b1(): int begin return 21; end
+    function b2(): int begin return 22; end
+  end
+  section c (cells 6..8)
+    function c1(): int begin return 31; end
+  end
+end
+"""
+EDITED = SOURCE.replace("return 12;", "return 1200;")
+
+
+def test_link_cache_cold_then_warm_section_tier():
+    """Without the module tier in play (different diagnostics text per
+    run would also do it, here we just bypass lookup), the section tier
+    alone serves every section on the second run."""
+    parsed, combined = _combined_for(SOURCE)
+    want = module_digest(
+        phase4_link_and_download(parsed, _objects(combined), ARRAY)[0]
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = LinkCache(tmp)
+        cold = Phase4Stats()
+        runner = Phase4Runner(
+            parsed, ARRAY, jobs=2, link_cache=cache, stats=cold
+        )
+        module, _, _ = runner.finish(combined)  # no lookup_module probe
+        assert module_digest(module) == want
+        assert (cold.link_cache_hits, cold.link_cache_misses) == (0, SECTIONS)
+        warm = Phase4Stats()
+        runner = Phase4Runner(
+            parsed, ARRAY, jobs=2, link_cache=cache, stats=warm
+        )
+        module, _, _ = runner.finish(combined)
+        assert module_digest(module) == want
+        assert (warm.link_cache_hits, warm.link_cache_misses) == (SECTIONS, 0)
+        assert warm.mode == "parallel"  # section tier, not module tier
+
+
+def test_one_function_edit_relinks_exactly_one_section():
+    """The acceptance criterion: editing one function on a warm cache
+    misses exactly its own section and hits every other."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = LinkCache(tmp)
+        parsed, combined = _combined_for(SOURCE)
+        phase4_parallel(parsed, combined, ARRAY, jobs=2, link_cache=cache)
+        parsed2, combined2 = _combined_for(EDITED)
+        stats = Phase4Stats()
+        module, _, _ = phase4_parallel(
+            parsed2, combined2, ARRAY, jobs=2, link_cache=cache, stats=stats
+        )
+        assert stats.mode == "parallel"  # module tier must miss
+        assert (stats.link_cache_hits, stats.link_cache_misses) == (
+            SECTIONS - 1,
+            1,
+        )
+        want = module_digest(
+            phase4_link_and_download(parsed2, _objects(combined2), ARRAY)[0]
+        )
+        assert module_digest(module) == want
+
+
+def test_geometry_change_invalidates_section_entries():
+    """Same source, different cell data-memory size: every key changes,
+    so nothing is served stale."""
+    parsed, combined = _combined_for(SOURCE)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = LinkCache(tmp)
+        phase4_parallel(parsed, combined, ARRAY, jobs=2, link_cache=cache)
+        small = WarpArrayModel(cell_count=10)
+        small.cell.data_memory_words //= 2
+        stats = Phase4Stats()
+        module, _, _ = phase4_parallel(
+            parsed, combined, small, jobs=2, link_cache=cache, stats=stats
+        )
+        assert stats.link_cache_hits == 0
+        assert stats.link_cache_misses == SECTIONS
+        want = module_digest(
+            phase4_link_and_download(parsed, _objects(combined), small)[0]
+        )
+        assert module_digest(module) == want
+
+
+def test_diagnostics_text_keys_the_module_tier():
+    """Module-tier entries embed the diagnostics text; a different text
+    must miss (and the relinked module carries the new text)."""
+    parsed, combined = _combined_for(SOURCE)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = LinkCache(tmp)
+        phase4_parallel(
+            parsed, combined, ARRAY, diagnostics_text="warn: a",
+            jobs=2, link_cache=cache,
+        )
+        stats = Phase4Stats()
+        module, _, _ = phase4_parallel(
+            parsed, combined, ARRAY, diagnostics_text="warn: b",
+            jobs=2, link_cache=cache, stats=stats,
+        )
+        assert not stats.module_cache_hit
+        assert module.diagnostics_text == "warn: b"
+
+
+def test_stripped_assembly_still_links_identically():
+    """Results without distributed-assembly payloads (old workers, or a
+    master that failed to assemble) link to the same bits — the link
+    job just assembles in place."""
+    parsed, combined = _combined_for(SOURCE)
+    want = module_digest(
+        phase4_link_and_download(parsed, _objects(combined), ARRAY)[0]
+    )
+    for section in combined.values():
+        section.assembled.clear()
+    stats = Phase4Stats()
+    module, _, _ = phase4_parallel(
+        parsed, combined, ARRAY, jobs=2, stats=stats
+    )
+    assert stats.mode == "parallel"
+    assert module_digest(module) == want
+
+
+def test_mismatched_assembly_payload_is_reassembled():
+    """A pre-assembled payload that does not match its object function
+    (corruption the supervisor never saw) is discarded, not linked."""
+    parsed, combined = _combined_for(SOURCE)
+    want = module_digest(
+        phase4_link_and_download(parsed, _objects(combined), ARRAY)[0]
+    )
+    victim = combined["a"].assembled["a1"]
+    victim.frame_words += 7717
+    module, _, _ = phase4_parallel(parsed, combined, ARRAY, jobs=2)
+    assert module_digest(module) == want
+
+
+# ---------------------------------------------------------------------------
+# Error paths: identical diagnostics through fallback
+# ---------------------------------------------------------------------------
+
+
+def test_bad_cell_range_raises_identical_error():
+    small = WarpArrayModel(cell_count=3)
+    parsed, combined = _combined_for(SOURCE)
+    with pytest.raises(ValueError) as seq_err:
+        phase4_link_and_download(parsed, _objects(combined), small)
+    stats = Phase4Stats()
+    with pytest.raises(ValueError) as par_err:
+        phase4_parallel(parsed, combined, small, jobs=2, stats=stats)
+    assert str(par_err.value) == str(seq_err.value)
+    assert stats.mode == "fallback"
+    assert "range validation" in stats.fallback_reason
+
+
+def test_poisoned_section_falls_back_to_sequential():
+    parsed, combined = _combined_for(SOURCE)
+    combined["b"].reports[0].poisoned = 1
+    stats = Phase4Stats()
+    module, _, _ = phase4_parallel(
+        parsed, combined, ARRAY, jobs=2, stats=stats
+    )
+    assert stats.mode == "fallback"
+    assert "poisoned" in stats.fallback_reason
+    want = module_digest(
+        phase4_link_and_download(parsed, _objects(combined), ARRAY)[0]
+    )
+    assert module_digest(module) == want
+
+
+def test_poisoned_section_never_served_from_module_cache():
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = LinkCache(tmp)
+        parsed, combined = _combined_for(SOURCE)
+        phase4_parallel(parsed, combined, ARRAY, jobs=2, link_cache=cache)
+        combined["a"].reports[0].poisoned = 1
+        stats = Phase4Stats()
+        runner = Phase4Runner(
+            parsed, ARRAY, jobs=2, link_cache=cache, stats=stats
+        )
+        assert runner.lookup_module(combined) is None
+        assert not stats.module_cache_hit
+
+
+def test_duplicate_section_delivery_taints():
+    parsed, combined = _combined_for(SOURCE)
+    stats = Phase4Stats()
+    runner = Phase4Runner(parsed, ARRAY, jobs=2, stats=stats)
+    runner.section_ready(combined["a"])
+    runner.section_ready(combined["a"])  # double delivery
+    module, _, _ = runner.finish(combined)
+    assert stats.mode == "fallback"
+    assert "duplicate" in stats.fallback_reason
+    want = module_digest(
+        phase4_link_and_download(parsed, _objects(combined), ARRAY)[0]
+    )
+    assert module_digest(module) == want
+
+
+def test_unknown_section_taints():
+    parsed, combined = _combined_for(SOURCE)
+    stray = combine_section_results(
+        phase1_parse_and_check(SOURCE).module.section_named("a"),
+        run_compile_task(FunctionTask(SOURCE, "<t>", "a", None)),
+    )
+    stray.section_name = "ghost"
+    for obj in stray.objects:
+        obj.section_name = "ghost"
+    runner = Phase4Runner(parsed, ARRAY, jobs=2)
+    runner.section_ready(stray)
+    assert runner._taint_reason is not None
+
+
+def test_jobs_must_be_positive():
+    parsed, combined = _combined_for(SOURCE)
+    with pytest.raises(ValueError):
+        Phase4Runner(parsed, ARRAY, jobs=0)
+    stats = Phase4Stats()
+    with pytest.raises(ValueError):
+        phase4_critical_path_work(stats, 0)
+
+
+ERROR_MODULES = [
+    # sema: undeclared variable
+    "module m section s (cells 0..1) function f() begin x := 1; end end end",
+    # parse: missing module end
+    "module m section s (cells 0..1) function f() begin return; end",
+    # sema: recursion
+    "module m section s (cells 0..1) function f(): int begin "
+    "return f(); end end end",
+]
+
+
+@pytest.mark.parametrize("source", ERROR_MODULES)
+def test_error_modules_identical_diagnostics_end_to_end(source):
+    """Front-end errors never reach phase 4, but the phase-4-parallel
+    compiler must still render the canonical diagnostics."""
+
+    def _render(error):
+        return "\n".join(d.render() for d in error.diagnostics)
+
+    with pytest.raises(CompileError) as seq_err:
+        SequentialCompiler().compile(source)
+    compiler = ParallelCompiler(backend=SerialBackend(), phase4_jobs=2)
+    with pytest.raises(CompileError) as par_err:
+        compiler.compile(source)
+    assert _render(par_err.value) == _render(seq_err.value)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic scaling model
+# ---------------------------------------------------------------------------
+
+
+def test_critical_path_work_model():
+    stats = Phase4Stats(
+        section_assembly_work=[40, 30, 20, 10],
+        section_link_work=[40, 30, 20, 10],
+        tail_work=10,
+    )
+    # jobs=1 without distributed assembly is exactly the sequential
+    # back end: all assembly + all link + the tail.
+    sequential = phase4_critical_path_work(
+        stats, 1, distributed_assembly=False
+    )
+    assert sequential == 10 + (40 + 30 + 20 + 10) * 2
+    one = phase4_critical_path_work(stats, 1)
+    two = phase4_critical_path_work(stats, 2)
+    four = phase4_critical_path_work(stats, 4)
+    assert one == 10 + 100
+    assert two == 10 + 50  # LPT: {40,10} {30,20}
+    assert four == 10 + 40
+    assert four <= two <= one <= sequential
+
+
+def test_runner_fills_work_model_on_every_path():
+    parsed, combined = _combined_for(SOURCE)
+    for link_cache in (None, LinkCache(tempfile.mkdtemp())):
+        stats = Phase4Stats()
+        phase4_parallel(
+            parsed, combined, ARRAY, jobs=2,
+            link_cache=link_cache, stats=stats,
+        )
+        assert len(stats.section_link_work) == SECTIONS
+        assert len(stats.section_assembly_work) == SECTIONS
+        assert stats.tail_work > 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the compiler driver and the CLI
+# ---------------------------------------------------------------------------
+
+
+def test_compiler_with_parallel_back_end_is_bit_identical():
+    seq = SequentialCompiler().compile(SOURCE)
+    with tempfile.TemporaryDirectory() as tmp:
+        compiler = ParallelCompiler(
+            backend=SerialBackend(),
+            cache=ArtifactCache(tmp + "/artifacts"),
+            phase4_jobs=2,
+            link_cache=LinkCache(tmp + "/link"),
+        )
+        cold = compiler.compile(SOURCE)
+        assert cold.digest == seq.digest
+        assert cold.profile.phase4_mode == "parallel"
+        assert cold.profile.link_cache_misses == SECTIONS
+        assert cold.profile.link_cache_hits == 0
+        # Fully warm: artifacts and module tier both answer.
+        warm = compiler.compile(SOURCE)
+        assert warm.digest == seq.digest
+        assert warm.profile.phase4_mode == "cached"
+        # A 1-function edit re-links exactly one section.
+        edit = compiler.compile(EDITED)
+        assert edit.digest == SequentialCompiler().compile(EDITED).digest
+        assert edit.profile.phase4_mode == "parallel"
+        assert edit.profile.link_cache_misses == 1
+        assert edit.profile.link_cache_hits == SECTIONS - 1
+        assert "phase4_mode" in warm.profile.to_dict()
+
+
+def test_compile_cli_json_reports_link_cache(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    source_path = tmp_path / "m.w"
+    source_path.write_text(SOURCE)
+    argv = [
+        "compile", str(source_path),
+        "--phase4-jobs", "2", "--jobs", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json",
+    ]
+    assert main(argv) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["profile"]["phase4_mode"] == "parallel"
+    assert document["profile"]["link_cache_misses"] == SECTIONS
+    assert document["link_cache"]["misses"] >= SECTIONS
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["profile"]["phase4_mode"] == "cached"
+
+
+def test_no_link_cache_flag_disables_the_cache(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    source_path = tmp_path / "m.w"
+    source_path.write_text(SOURCE)
+    argv = [
+        "compile", str(source_path),
+        "--phase4-jobs", "2", "--jobs", "1", "--no-link-cache",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json",
+    ]
+    for _ in range(2):  # never goes warm without the cache
+        assert main(argv) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["profile"]["phase4_mode"] == "parallel"
+        assert "link_cache" not in document

@@ -351,6 +351,26 @@ class TestResultValidation:
         assert backend.supervision.corrupt_payloads == 6
         assert par.profile.supervisor_corrupt_payloads == 6
 
+    def test_corrupt_assembled_payload_is_detected_and_rerun(self):
+        """A scribbled AssembledFunction must be re-run, never linked:
+        the payload digest covers the pre-assembled half too, so the
+        supervisor rejects the result even though the ObjectFunction
+        beside it is pristine."""
+        inner = chaos(
+            seed=2, corrupt_assembly_rate=1.0, max_corruptions_per_task=1
+        )
+        backend = supervised(inner, max_attempts=3, hedge_after=None)
+        compiler = ParallelCompiler(backend=backend, phase4_jobs=2)
+        par = compiler.compile(SOURCE)
+        seq = SequentialCompiler().compile(SOURCE)
+        assert par.digest == seq.digest
+        assert inner.injected_assembly_corruptions == 6
+        assert backend.supervision.corrupt_payloads == 6
+        assert par.profile.supervisor_corrupt_payloads == 6
+        # The retried results linked on the parallel back end, not a
+        # fallback: every section was clean by the time it combined.
+        assert compiler.last_phase4_stats.mode == "parallel"
+
     def test_payload_digest_travels_with_results(self):
         from repro.driver.function_master import (
             FunctionTask,
@@ -359,6 +379,7 @@ class TestResultValidation:
 
         results = run_compile_task(FunctionTask(SOURCE, "<t>", "s", "f0"))
         assert results[0].payload_digest == result_payload_digest(results[0])
+        assert results[0].assembled is not None
 
 
 class TestSectionGranularity:
@@ -383,13 +404,23 @@ class TestSeededChaosEndToEnd:
     def _config():
         seed = int(os.environ.get("WARPCC_CHAOS_SEED", "0"))
         fault = os.environ.get("WARPCC_CHAOS_FAULT", "mixed")
-        rates = {"crash_rate": 0.0, "hang_rate": 0.0, "corrupt_rate": 0.0}
+        rates = {
+            "crash_rate": 0.0,
+            "hang_rate": 0.0,
+            "corrupt_rate": 0.0,
+            "corrupt_assembly_rate": 0.0,
+        }
         if fault in ("crash", "mixed"):
             rates["crash_rate"] = 0.3
         if fault in ("hang", "mixed"):
             rates["hang_rate"] = 0.3
         if fault in ("corrupt", "mixed"):
             rates["corrupt_rate"] = 0.25
+        # Its own matrix leg, deliberately not part of "mixed": the
+        # extra per-attempt fault draw would change which seeds push a
+        # second task over the poison threshold.
+        if fault == "corrupt-assembly":
+            rates["corrupt_assembly_rate"] = 0.25
         return seed, rates
 
     def test_chaos_run_completes_with_poison_diagnostic(self):
