@@ -152,11 +152,33 @@ def render_scaling(doc: dict) -> list[str]:
     return lines
 
 
+def render_fabric(doc: dict) -> list[str]:
+    """Distributed-fabric scaling + node-kill robustness point."""
+    rows = [
+        ("workload", doc.get("workload", "?")),
+        ("host cores", str(doc.get("cores", "?"))),
+        ("1 node median", _fmt_s(doc.get("one_node_median_s", 0.0))),
+        ("2 node median", _fmt_s(doc.get("two_node_median_s", 0.0))),
+        ("speedup 2/1", f"{doc.get('speedup_2_over_1', 0.0):.2f}x"),
+        (
+            "node-kill round",
+            _fmt_s(doc.get("node_kill_wall_s", 0.0))
+            + f" ({doc.get('node_kill_tasks_requeued', '?')} task(s) "
+            f"requeued, digest identical)",
+        ),
+    ]
+    return ["| metric | value |", "|---|---|"] + [
+        f"| {k} | {v} |" for k, v in rows
+    ]
+
+
 def render_one(doc: dict) -> list[str]:
     if "benchmarks" in doc and "machine_info" in doc:
         return render_pyperf(doc)
     if "critical_path_speedup" in doc:
         return render_scaling(doc)
+    if "node_kill_completed" in doc:
+        return render_fabric(doc)
     if "warm_cache_median_s" in doc:
         return render_paired(doc)
     if "overhead_ratio" in doc:

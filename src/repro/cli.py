@@ -67,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the persistent function-level artifact cache",
     )
     compile_cmd.add_argument(
+        "--cache-url", default=None, metavar="HOST:PORT",
+        help="network artifact-cache tier (see 'warpcc cache-server'); "
+        "read-through/write-behind in front of the local cache, and "
+        "any cache-tier failure degrades to local-only "
+        "(default: $WARPCC_CACHE_URL)",
+    )
+    compile_cmd.add_argument(
         "--phase1-jobs", type=int, default=None, metavar="N",
         help="parse and check N function bodies concurrently in phase 1 "
         "(boundary-scan front end; bit-identical to sequential); "
@@ -304,6 +311,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "--hedge-after", type=float, default=0.75, metavar="FRACTION",
         help="straggler hedging threshold for --supervised (0 disables)",
     )
+    serve_cmd.add_argument(
+        "--fabric-port", type=int, default=None, metavar="PORT",
+        help="also run a fabric hub on this port (0: pick a free port) "
+        "and schedule compile tasks onto registered 'warpcc worker' "
+        "nodes; the local pool remains the fallback when zero nodes "
+        "hold live leases",
+    )
+    serve_cmd.add_argument(
+        "--cache-url", default=None, metavar="HOST:PORT",
+        help="network artifact-cache tier shared by every node "
+        "(default: $WARPCC_CACHE_URL)",
+    )
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="run a worker-node agent: register this machine's pool "
+        "with a fabric hub and compile the tasks it leases us",
+    )
+    worker_cmd.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="fabric hub address (what 'warpcc serve --fabric-port' "
+        "printed)",
+    )
+    worker_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="local warm-pool worker processes (default: cores-1)",
+    )
+    worker_cmd.add_argument(
+        "--node-id", default=None,
+        help="stable node identity (default: hostname-pid)",
+    )
+    worker_cmd.add_argument(
+        "--serial", action="store_true",
+        help="compile in-process instead of a warm pool (tests, "
+        "single-core machines)",
+    )
+    worker_cmd.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="inject deterministic transport faults seeded by SEED "
+        "(fault suite; see --chaos-fault)",
+    )
+    worker_cmd.add_argument(
+        "--chaos-fault", default="mixed",
+        choices=("node-kill", "heartbeat-drop", "truncate", "delay-dup",
+                 "mixed"),
+        help="which transport fault family --chaos injects",
+    )
+
+    cache_server_cmd = sub.add_parser(
+        "cache-server",
+        help="run the content-addressed network artifact-cache tier "
+        "(clients: --cache-url HOST:PORT)",
+    )
+    cache_server_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    cache_server_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    cache_server_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="blob-store directory (default: $WARPCC_CACHE_DIR or "
+        "~/.cache/warpcc)",
+    )
+    cache_server_cmd.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="LRU size bound for the blob store",
+    )
 
     submit_cmd = sub.add_parser(
         "submit", help="submit a module to a running compile service"
@@ -366,20 +442,48 @@ def _read_source(path: str) -> str:
 
 
 def _build_cache(args):
-    """The artifact cache selected by --cache-dir / --no-cache."""
+    """The artifact cache selected by --cache-dir / --no-cache, tiered
+    behind a network cache when --cache-url / $WARPCC_CACHE_URL names
+    one."""
     if args.no_cache:
         return None
     from .cache import ArtifactCache
 
-    return ArtifactCache(args.cache_dir)
+    cache = ArtifactCache(args.cache_dir)
+    import os
+
+    cache_url = getattr(args, "cache_url", None) or os.environ.get(
+        "WARPCC_CACHE_URL"
+    )
+    if cache_url:
+        from .fabric import NetworkCacheClient, TieredCache
+
+        cache = TieredCache(cache, NetworkCacheClient(cache_url))
+    return cache
+
+
+def _close_cache(cache) -> None:
+    """Flush and close a tiered cache (plain stores have no close)."""
+    closer = getattr(cache, "close", None)
+    if closer is not None:
+        closer()
 
 
 def _cache_stats_line(cache) -> str:
     stats = cache.stats
-    return (
+    line = (
         f"artifact cache: {stats.hits} hit(s), {stats.misses} miss(es), "
         f"{cache.size_bytes()} bytes on disk"
     )
+    remote = getattr(cache, "remote", None)
+    if remote is not None:
+        state = "disabled" if remote.disabled else "live"
+        line += (
+            f"; network tier ({state}): {remote.remote_hits} hit(s), "
+            f"{remote.remote_misses} miss(es), "
+            f"{remote.remote_errors} error(s)"
+        )
+    return line
 
 
 def _build_parse_cache(args):
@@ -515,7 +619,12 @@ def _cmd_compile(args) -> int:
         else:
             for diagnostic in error.diagnostics:
                 print(diagnostic.render(), file=sys.stderr)
+        _close_cache(cache)
         return 1
+
+    # Compilation is done; flush any write-behind pushes to the network
+    # cache tier before reporting.
+    _close_cache(cache)
 
     if args.json:
         import json
@@ -837,16 +946,27 @@ def _cmd_serve(args) -> int:
 
     pool = WarmPoolBackend(max_workers=args.workers)
     backend = pool
+    hub = None
+    if args.fabric_port is not None:
+        from .fabric import FabricHub, RemoteBackend
+
+        # The warm pool doubles as the hub's local fallback: zero live
+        # worker nodes degrades to exactly the single-machine service.
+        hub = FabricHub(
+            host=args.host, port=args.fabric_port, fallback=pool
+        )
+        backend = RemoteBackend(hub)
     if args.supervised:
         from .parallel.supervisor import SupervisedBackend
 
         backend = SupervisedBackend(
-            pool,
+            backend,
             task_timeout=args.task_timeout,
             hedge_after=(
                 args.hedge_after if args.hedge_after > 0 else None
             ),
         )
+    cache = None
     try:
         cache = _build_cache(args)
         service = CompileService(
@@ -868,11 +988,20 @@ def _cmd_serve(args) -> int:
             f"or export {ADDRESS_ENV}={server.address}",
             flush=True,
         )
+        if hub is not None:
+            print(
+                f"warpcc fabric on {hub.address}; nodes: "
+                f"warpcc worker --connect {hub.address}",
+                flush=True,
+            )
         server.serve_until_shutdown()
         return 0
     finally:
         # The service borrows the backend (see driver ownership rules);
         # the process that built the pool tears it down.
+        if hub is not None:
+            hub.close()
+        _close_cache(cache)
         pool.shutdown()
 
 
@@ -1000,6 +1129,94 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+#: Transport fault rates for each ``warpcc worker --chaos-fault``
+#: family.  Seeded and deterministic (see repro.fabric.chaos); the CI
+#: fabric-chaos matrix drives these from the command line.
+_WORKER_CHAOS_FAULTS = {
+    "node-kill": {"kill_rate": 0.4},
+    "heartbeat-drop": {"heartbeat_drop_rate": 0.7},
+    "truncate": {"truncate_rate": 0.4},
+    "delay-dup": {"delay_rate": 0.3, "duplicate_rate": 0.3},
+    "mixed": {
+        "kill_rate": 0.2,
+        "heartbeat_drop_rate": 0.2,
+        "truncate_rate": 0.15,
+        "delay_rate": 0.15,
+        "duplicate_rate": 0.15,
+    },
+}
+
+
+def _cmd_worker(args) -> int:
+    from .fabric import FabricChaos, WorkerNodeAgent
+
+    if args.serial:
+        from .parallel.local import SerialBackend
+
+        backend = SerialBackend()
+    else:
+        from .parallel.warm_pool import WarmPoolBackend
+
+        backend = WarmPoolBackend(max_workers=args.workers)
+    chaos = None
+    if args.chaos is not None:
+        chaos = FabricChaos(
+            args.chaos, **_WORKER_CHAOS_FAULTS[args.chaos_fault]
+        )
+    try:
+        agent = WorkerNodeAgent(
+            args.connect,
+            backend,
+            node_id=args.node_id,
+            chaos=chaos,
+        )
+    except ValueError as error:
+        print(f"warpcc: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"warpcc worker {agent.node_id}: {backend.worker_count} "
+        f"worker(s) leased to {args.connect}",
+        flush=True,
+    )
+    try:
+        agent.run_forever()
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    finally:
+        shutdown = getattr(backend, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+
+def _cmd_cache_server(args) -> int:
+    import threading
+
+    from .cache.store import DEFAULT_MAX_BYTES
+    from .fabric import CacheServiceServer
+
+    server = CacheServiceServer(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        max_bytes=args.max_bytes or DEFAULT_MAX_BYTES,
+    )
+    print(
+        f"warpcc cache tier on {server.address} "
+        f"({server.store.entry_count()} entr(ies) on disk); "
+        f"clients: warpcc compile --cache-url {server.address} "
+        f"or export WARPCC_CACHE_URL={server.address}",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    finally:
+        server.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "compile":
@@ -1012,6 +1229,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "cache-server":
+        return _cmd_cache_server(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "status":

@@ -1,0 +1,63 @@
+"""Distributed compile fabric: remote worker nodes over JSON lines.
+
+The paper's host was "an Ethernet network of diskless SUN workstations";
+everything so far has emulated that fleet with local OS processes.  This
+package puts the network back: a central :class:`~repro.fabric.hub.FabricHub`
+schedules function-master tasks onto worker-node agents
+(:class:`~repro.fabric.node.WorkerNodeAgent`, ``warpcc worker``) that each
+front a machine's warm pool, and :class:`~repro.fabric.hub.RemoteBackend`
+exposes the fleet through the standard ``run_tasks_streaming`` surface so
+the driver, :class:`~repro.parallel.supervisor.SupervisedBackend`, the
+compile service, and the fuzz oracle compose unchanged.
+
+Robustness model (see INTERNALS.md §Distributed fabric):
+
+- node registration grants a *lease* renewed by heartbeats; a silent
+  node's lease expires and its unacknowledged tasks are re-queued;
+- results are deduplicated by task key — first result wins, exactly the
+  hedging rule the supervisor already applies;
+- every task and result crossing the wire carries a content digest, and
+  results are additionally re-validated against their sealed
+  ``payload_digest`` before the hub will route them;
+- zero live nodes degrades gracefully to the local fallback pool;
+- the two-tier artifact cache (:mod:`repro.fabric.netcache`) treats
+  every network-tier failure as a miss — cache trouble can cost a
+  recompile, never a wrong artifact and never a failed compile.
+"""
+
+from .chaos import CacheChaos, FabricChaos
+from .hub import FabricHub, FabricStats, RemoteBackend
+from .netcache import (
+    CacheServiceServer,
+    NetworkBlobStore,
+    NetworkCacheClient,
+    TieredCache,
+)
+from .node import WorkerNodeAgent
+from .wire import (
+    Connection,
+    ProtocolError,
+    WireCorruption,
+    backoff_delays,
+    decode_frame,
+    read_frame_line,
+)
+
+__all__ = [
+    "CacheChaos",
+    "CacheServiceServer",
+    "Connection",
+    "FabricChaos",
+    "FabricHub",
+    "FabricStats",
+    "NetworkBlobStore",
+    "NetworkCacheClient",
+    "ProtocolError",
+    "RemoteBackend",
+    "TieredCache",
+    "WireCorruption",
+    "WorkerNodeAgent",
+    "backoff_delays",
+    "decode_frame",
+    "read_frame_line",
+]

@@ -1,0 +1,218 @@
+"""The worker-node agent: one machine's pool, leased to the hub.
+
+``warpcc worker --connect HOST:PORT`` runs one of these.  The agent
+connects with capped exponential backoff + jitter (a fleet restarting
+together must not stampede the hub), registers its local backend's
+worker count, then serves tasks: each incoming task frame is decoded —
+digest-checked — executed on the local backend, and its results are
+streamed back followed by a ``task-done`` acknowledgement.  Heartbeats
+ride a dedicated thread so a node busy compiling still renews its lease.
+
+The agent is deliberately stateless between connections: if the hub
+drops it (lease expiry, protocol error, hub restart) it simply
+reconnects and re-registers.  Any task whose acknowledgement didn't
+reach the hub will be re-queued by the hub's lease machinery — the
+agent never tracks that, which is what keeps the failure model simple
+enough to trust.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..parallel.backend import stream_task_results
+from ..parallel.local import SerialBackend
+from .chaos import FabricChaos
+from .wire import (
+    PROTOCOL_VERSION,
+    Connection,
+    ProtocolError,
+    WireCorruption,
+    connect_with_backoff,
+    decode_task,
+    encode_result,
+)
+
+
+def default_node_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkerNodeAgent:
+    """Registers a local execution backend with a fabric hub."""
+
+    def __init__(
+        self,
+        address: str,
+        backend=None,
+        *,
+        node_id: Optional[str] = None,
+        connect_attempts: int = 8,
+        connect_base: float = 0.05,
+        connect_cap: float = 2.0,
+        reconnect: bool = True,
+        chaos: Optional[FabricChaos] = None,
+    ):
+        host, _, port = address.rpartition(":")
+        if not host or not port:
+            raise ValueError(f"hub address must be HOST:PORT, got {address!r}")
+        self.host, self.port = host, int(port)
+        self.backend = backend if backend is not None else SerialBackend()
+        self.node_id = node_id or default_node_id()
+        self.connect_attempts = connect_attempts
+        self.connect_base = connect_base
+        self.connect_cap = connect_cap
+        self.reconnect = reconnect
+        self.chaos = chaos
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.sessions = 0
+        self._stop = threading.Event()
+        self._conn: Optional[Connection] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WorkerNodeAgent":
+        """Run the agent on a daemon thread (tests, embedded fleets)."""
+        self._thread = threading.Thread(
+            target=self.run_forever,
+            name=f"fabric-node-{self.node_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        conn = self._conn
+        if conn is not None:
+            try:
+                conn.send({"op": "goodbye", "node": self.node_id})
+            except Exception:  # noqa: BLE001 - already gone is fine
+                pass
+            conn.close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def run_forever(self) -> None:
+        """Serve until stopped; reconnects with backoff on any failure."""
+        while not self._stop.is_set():
+            try:
+                sock = connect_with_backoff(
+                    self.host,
+                    self.port,
+                    attempts=self.connect_attempts,
+                    base=self.connect_base,
+                    cap=self.connect_cap,
+                )
+            except OSError:
+                if not self.reconnect or self._stop.is_set():
+                    return
+                self._stop.wait(self.connect_cap)
+                continue
+            conn = Connection(sock)
+            if self.chaos is not None:
+                conn = self.chaos.wrap(conn)
+            self._conn = conn
+            try:
+                self._serve(conn)
+            except (OSError, ProtocolError, ConnectionError):
+                pass  # hub gone or chaos killed the link: reconnect
+            finally:
+                self._conn = None
+                conn.close()
+            if not self.reconnect:
+                return
+
+    # -- one connection's session --------------------------------------
+
+    def _serve(self, conn) -> None:
+        self.sessions += 1
+        conn.send(
+            {
+                "op": "register",
+                "node": self.node_id,
+                "workers": self.backend.worker_count,
+                "protocol": PROTOCOL_VERSION,
+            }
+        )
+        welcome = conn.recv()
+        if welcome is None or not welcome.get("ok"):
+            return
+        interval = float(welcome.get("heartbeat_interval", 2.0))
+        session_over = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(conn, interval, session_over),
+            name=f"fabric-node-{self.node_id}-hb",
+            daemon=True,
+        )
+        heartbeat.start()
+        pool = ThreadPoolExecutor(
+            max_workers=max(1, self.backend.worker_count),
+            thread_name_prefix=f"fabric-node-{self.node_id}",
+        )
+        try:
+            while not self._stop.is_set():
+                frame = conn.recv()
+                if frame is None:
+                    return
+                op = frame.get("op")
+                if op == "task":
+                    pool.submit(self._run_task, conn, frame)
+                elif op == "shutdown":
+                    self._stop.set()
+                    return
+                elif op == "error":
+                    return  # hub rejected us; reconnect fresh
+        finally:
+            session_over.set()
+            pool.shutdown(wait=False)
+
+    def _heartbeat_loop(self, conn, interval: float, session_over: threading.Event) -> None:
+        while not session_over.wait(interval):
+            try:
+                conn.send({"op": "heartbeat", "node": self.node_id})
+            except Exception:  # noqa: BLE001 - dead link ends the session
+                return
+
+    def _run_task(self, conn, frame: dict) -> None:
+        task_id = str(frame.get("id", ""))
+        try:
+            task = decode_task(frame)
+        except WireCorruption as exc:
+            self.tasks_failed += 1
+            self._send_quietly(
+                conn, {"op": "task-failed", "id": task_id, "error": str(exc)}
+            )
+            return
+        try:
+            results = list(stream_task_results(self.backend, [task]))
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            self.tasks_failed += 1
+            self._send_quietly(
+                conn, {"op": "task-failed", "id": task_id, "error": repr(exc)}
+            )
+            return
+        try:
+            for result in results:
+                if result.worker is None:
+                    result.worker = f"node:{self.node_id}"
+                conn.send(encode_result(result, task_id))
+            conn.send({"op": "task-done", "id": task_id})
+        except (OSError, ConnectionError, ProtocolError):
+            # Link died before the ack: the hub re-queues this task.
+            return
+        self.tasks_completed += 1
+
+    @staticmethod
+    def _send_quietly(conn, frame: dict) -> None:
+        try:
+            conn.send(frame)
+        except Exception:  # noqa: BLE001
+            pass

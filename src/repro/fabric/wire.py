@@ -1,0 +1,305 @@
+"""Framing and codecs for the fabric's JSON-lines wire protocol.
+
+One frame per line, UTF-8 JSON objects, newline terminated — the same
+shape as the compile service's protocol, shared here so both sides use
+one hardened reader.  The reader enforces a frame-size bound (a peer
+cannot make us buffer an unbounded line), distinguishes a clean EOF from
+a connection that died mid-line, and turns malformed JSON into a typed
+:class:`ProtocolError` carrying a machine-readable ``reason`` instead of
+whatever exception ``json`` felt like raising.
+
+Tasks and results are pickled, base64'd, and wrapped in a frame that
+carries the blob's sha256.  Decoding re-hashes the blob before
+unpickling, and results are additionally re-validated against their
+sealed ``payload_digest`` (:func:`result_payload_digest`) — so a frame
+that was truncated, duplicated-and-spliced, or corrupted anywhere along
+the path is rejected at the crossing, never linked.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import random
+import socket
+import threading
+from typing import Iterator, Optional
+
+from ..driver.function_master import (
+    FunctionTask,
+    FunctionTaskResult,
+    result_payload_digest,
+)
+
+#: Protocol revision; bumped on incompatible frame changes.
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one frame.  Object code for a function is a few KB;
+#: whole-module sources top out far below this.  Anything larger is a
+#: bug or an attack, and either way we refuse to buffer it.
+DEFAULT_MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A peer violated the framing contract.
+
+    ``reason`` is the machine-readable code sent back on the wire before
+    the connection is dropped: ``oversized-frame``, ``truncated-frame``,
+    ``bad-json``, ``bad-request``, or ``corrupt-payload``.
+    """
+
+    def __init__(self, message: str, reason: str = "protocol-error"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class WireCorruption(ProtocolError):
+    """A frame's content failed digest validation."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="corrupt-payload")
+
+
+def read_frame_line(rfile, max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> Optional[bytes]:
+    """One newline-terminated line from a binary file object.
+
+    Returns ``None`` on clean EOF.  Raises :class:`ProtocolError` when
+    the line exceeds ``max_bytes`` (``oversized-frame``) or the stream
+    ended mid-line (``truncated-frame``) — a partial read must never be
+    parsed as if it were a whole frame.
+    """
+    line = rfile.readline(max_bytes + 1)
+    if not line:
+        return None
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            f"frame exceeds {max_bytes} bytes", reason="oversized-frame"
+        )
+    if not line.endswith(b"\n"):
+        raise ProtocolError(
+            "connection closed mid-frame", reason="truncated-frame"
+        )
+    return line
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one frame line into a dict, or raise :class:`ProtocolError`."""
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}", reason="bad-json")
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}",
+            reason="bad-request",
+        )
+    return frame
+
+
+def encode_frame(frame: dict) -> bytes:
+    return (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Blob codec: pickle + base64 + sha256, validated on every crossing.
+# ---------------------------------------------------------------------------
+
+
+def _blob_digest(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def pack_blob(payload) -> dict:
+    """Fields carrying an arbitrary picklable payload plus its digest."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "blob": base64.b64encode(blob).decode("ascii"),
+        "sha256": _blob_digest(blob),
+    }
+
+
+def unpack_blob(frame: dict, expected_type: type):
+    """Decode, digest-check, and type-check a packed blob."""
+    try:
+        blob = base64.b64decode(frame["blob"].encode("ascii"), validate=True)
+    except Exception as exc:  # noqa: BLE001 - anything here is corruption
+        raise WireCorruption(f"undecodable blob: {exc}")
+    digest = _blob_digest(blob)
+    if digest != frame.get("sha256"):
+        raise WireCorruption(
+            f"blob digest mismatch: frame says {frame.get('sha256')!r}, "
+            f"content hashes to {digest!r}"
+        )
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001
+        raise WireCorruption(f"blob does not unpickle: {exc}")
+    if not isinstance(payload, expected_type):
+        raise WireCorruption(
+            f"blob holds {type(payload).__name__}, "
+            f"expected {expected_type.__name__}"
+        )
+    return payload
+
+
+def encode_task(task: FunctionTask, task_id: str) -> dict:
+    frame = {"op": "task", "id": task_id}
+    frame.update(pack_blob(task))
+    return frame
+
+
+def decode_task(frame: dict) -> FunctionTask:
+    return unpack_blob(frame, FunctionTask)
+
+
+def encode_result(result: FunctionTaskResult, task_id: str) -> dict:
+    frame = {"op": "result", "id": task_id}
+    frame.update(pack_blob(result))
+    return frame
+
+
+def decode_result(frame: dict) -> FunctionTaskResult:
+    """Decode a result frame and validate its sealed payload digest.
+
+    The blob digest catches transport corruption; re-deriving the
+    payload digest additionally catches a worker that pickled garbage —
+    the same check the supervisor applies, enforced at the wire so a
+    corrupt result never even enters the scheduler.
+    """
+    result = unpack_blob(frame, FunctionTaskResult)
+    sealed = getattr(result, "payload_digest", None)
+    if sealed is not None and result_payload_digest(result) != sealed:
+        raise WireCorruption(
+            f"result {result.section_name}.{result.function_name} fails "
+            "payload-digest validation"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Connection: a socket speaking framed JSON, with thread-safe sends.
+# ---------------------------------------------------------------------------
+
+
+class Connection:
+    """One fabric peer connection.
+
+    ``send`` is locked (the hub's scheduler and monitor threads both
+    write to node connections); ``recv`` is only ever called from the
+    connection's single reader thread.
+    """
+
+    def __init__(self, sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self.max_frame_bytes = max_frame_bytes
+
+    def send(self, frame: dict) -> None:
+        data = encode_frame(frame)
+        if len(data) > self.max_frame_bytes:
+            raise ProtocolError(
+                f"refusing to send {len(data)}-byte frame",
+                reason="oversized-frame",
+            )
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def send_raw(self, data: bytes) -> None:
+        """Raw bytes on the wire; exists for fault injection only."""
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def recv(self) -> Optional[dict]:
+        try:
+            line = read_frame_line(self._rfile, self.max_frame_bytes)
+        except ValueError:
+            # The file object was closed under us (shutdown, or chaos
+            # killing the link mid-read): same as a clean EOF.
+            return None
+        if line is None:
+            return None
+        return decode_frame(line)
+
+    def close(self) -> None:
+        # Shut the socket down BEFORE closing the buffered reader: a
+        # thread blocked in readline() holds the buffer's lock, and
+        # closing the file object would wait on that lock forever.
+        # shutdown() unblocks the reader at the OS level first.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def peername(self) -> str:
+        try:
+            host, port = self._sock.getpeername()[:2]
+            return f"{host}:{port}"
+        except OSError:
+            return "<closed>"
+
+
+# ---------------------------------------------------------------------------
+# Backoff: capped exponential with jitter, shared by every reconnect loop.
+# ---------------------------------------------------------------------------
+
+
+def backoff_delays(
+    attempts: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> Iterator[float]:
+    """Yield up to ``attempts`` sleep durations: ``base * 2**i`` capped
+    at ``cap``, each scattered by ``±jitter`` (fraction) so a fleet of
+    reconnecting nodes does not stampede the hub in lockstep."""
+    if rng is None:
+        rng = random.Random()
+    for i in range(attempts):
+        delay = min(cap, base * (2.0 ** i))
+        spread = delay * jitter
+        yield max(0.0, delay - spread + 2.0 * spread * rng.random())
+
+
+def connect_with_backoff(
+    host: str,
+    port: int,
+    *,
+    attempts: int = 8,
+    base: float = 0.05,
+    cap: float = 2.0,
+    timeout: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> socket.socket:
+    """``create_connection`` retried through :func:`backoff_delays`.
+
+    Only connection-refused/reset races are retried — those are the
+    "the server is still binding its socket" window.  Anything else
+    (unknown host, permission) fails fast.
+    """
+    import time
+
+    last: Optional[Exception] = None
+    delays = [0.0]
+    delays.extend(backoff_delays(attempts - 1, base=base, cap=cap, rng=rng))
+    for delay in delays:
+        if delay:
+            time.sleep(delay)
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except (ConnectionRefusedError, ConnectionResetError) as exc:
+            last = exc
+    assert last is not None
+    raise last

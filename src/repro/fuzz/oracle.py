@@ -20,6 +20,9 @@ Pipeline variants (the matrix):
 ``parallel-barrier``      same, forced through the barrier (non-streaming) API
 ``section``               section-granularity dispatch (§3.1's original plan)
 ``warm-pool``             persistent multiprocess warm-worker farm
+``fabric``                distributed fabric: a loopback hub plus two
+                          in-process worker-node agents behind
+                          :class:`~repro.fabric.hub.RemoteBackend`
 ``cache``                 cache-cold then cache-warm compile, shared store
 ``phase1``                parallel+incremental front end (boundary scan,
                           concurrent per-function parse+sema, parse cache),
@@ -67,6 +70,7 @@ ALL_PIPELINES: Tuple[str, ...] = (
     "parallel-barrier",
     "section",
     "warm-pool",
+    "fabric",
     "cache",
     "phase1",
     "phase4",
@@ -74,9 +78,10 @@ ALL_PIPELINES: Tuple[str, ...] = (
     "chaos",
 )
 
-#: The in-process subset — safe anywhere, no worker processes spawned.
+#: The in-process subset — safe anywhere: no worker processes spawned,
+#: no sockets opened (``fabric`` runs loopback TCP; ``warm-pool`` forks).
 DEFAULT_PIPELINES: Tuple[str, ...] = tuple(
-    name for name in ALL_PIPELINES if name != "warm-pool"
+    name for name in ALL_PIPELINES if name not in ("warm-pool", "fabric")
 )
 
 MISMATCH_KINDS = ("digest", "diagnostic", "semantic", "crash")
@@ -210,6 +215,7 @@ class DifferentialOracle:
                 f"choose from {list(ALL_PIPELINES)}"
             )
         self._warm_pool = None
+        self._fabric = None
         self._reference = (
             _load_reference_interpreter()
             if self.config.check_semantics
@@ -228,6 +234,12 @@ class DifferentialOracle:
         if self._warm_pool is not None:
             self._warm_pool.shutdown()
             self._warm_pool = None
+        if self._fabric is not None:
+            hub, agents, _ = self._fabric
+            for agent in agents:
+                agent.stop()
+            hub.close()
+            self._fabric = None
 
     def _warm_backend(self):
         if self._warm_pool is None:
@@ -235,6 +247,28 @@ class DifferentialOracle:
 
             self._warm_pool = WarmPoolBackend(max_workers=2)
         return self._warm_pool
+
+    def _fabric_backend(self):
+        """A loopback fabric — hub plus two serial-backend node agents —
+        shared across checks so a campaign amortizes the TCP setup."""
+        if self._fabric is None:
+            from ..fabric import FabricHub, RemoteBackend, WorkerNodeAgent
+
+            hub = FabricHub(lease_ttl=5.0, heartbeat_interval=0.5)
+            agents = [
+                WorkerNodeAgent(
+                    hub.address,
+                    SerialBackend(),
+                    node_id=f"oracle-node-{i}",
+                ).start()
+                for i in range(2)
+            ]
+            if not hub.wait_for_nodes(2, timeout=10.0):
+                raise OracleInvariantError(
+                    "fabric nodes failed to register with the hub"
+                )
+            self._fabric = (hub, agents, RemoteBackend(hub))
+        return self._fabric[2]
 
     # -- compilation legs ---------------------------------------------
 
@@ -265,6 +299,10 @@ class DifferentialOracle:
         if name == "warm-pool":
             return ParallelCompiler(
                 backend=self._warm_backend(), **kwargs
+            ).compile(source)
+        if name == "fabric":
+            return ParallelCompiler(
+                backend=self._fabric_backend(), **kwargs
             ).compile(source)
         if name == "cache":
             return self._compile_cache_variant(source, **kwargs)

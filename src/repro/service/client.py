@@ -50,17 +50,39 @@ def resolve_address(address: Optional[str]) -> str:
 
 
 class ServiceClient:
-    """Talks to one ``warpcc serve`` endpoint."""
+    """Talks to one ``warpcc serve`` endpoint.
 
-    def __init__(self, address: str, timeout: Optional[float] = 30.0):
+    The initial connect retries with capped exponential backoff +
+    jitter: ``warpcc submit`` routinely races ``warpcc serve`` binding
+    its socket (scripted startups, CI), and a connection refused inside
+    that window is a timing accident, not an answer.  Only refused/reset
+    connects are retried; after the budget the last error propagates
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: Optional[float] = 30.0,
+        connect_attempts: int = 6,
+        connect_backoff: float = 0.05,
+    ):
         self.host, self.port = parse_address(address)
         self.timeout = timeout
+        self.connect_attempts = max(1, connect_attempts)
+        self.connect_backoff = connect_backoff
 
     # -- wire ----------------------------------------------------------
 
     def _connect(self) -> socket.socket:
-        return socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
+        from ..fabric.wire import connect_with_backoff
+
+        return connect_with_backoff(
+            self.host,
+            self.port,
+            attempts=self.connect_attempts,
+            base=self.connect_backoff,
+            timeout=self.timeout,
         )
 
     def _request_lines(self, payload: dict) -> Iterator[dict]:

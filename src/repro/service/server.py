@@ -751,18 +751,43 @@ def _job_detail(service: CompileService, job: JobRecord) -> dict:
     return detail
 
 
+#: Hard bound on one request line.  Modules are a few KB of source; a
+#: client sending more than this per line is buggy or hostile, and
+#: either way the server refuses to buffer it.
+MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
 class _ServiceRequestHandler(socketserver.StreamRequestHandler):
-    """One thread per connection; a connection may issue many requests."""
+    """One thread per connection; a connection may issue many requests.
+
+    Framing violations — an oversized line, a stream that dies mid-line,
+    bytes that are not JSON — get one machine-readable
+    ``{"ok": false, "reason": ...}`` reply and the connection is
+    dropped; the framing state is unknowable after that, so continuing
+    to parse would be guessing.  Application errors reply with the same
+    shape but keep the connection.  Either way the handler thread
+    survives: a client can never take a worker thread down with it.
+    """
 
     def handle(self) -> None:
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
+        from ..fabric.wire import ProtocolError, decode_frame, read_frame_line
+
+        while True:
+            try:
+                raw = read_frame_line(self.rfile, MAX_REQUEST_BYTES)
+            except ProtocolError as error:
+                self._reply(ok=False, error=str(error), reason=error.reason)
+                return  # framing is gone; drop the connection
+            if raw is None:
+                return  # clean EOF
+            if not raw.strip():
                 continue
             try:
-                request = json.loads(line.decode("utf-8"))
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
+                request = decode_frame(raw)
+            except ProtocolError as error:
+                self._reply(ok=False, error=str(error), reason=error.reason)
+                return
+            try:
                 self._dispatch(request)
             except BrokenPipeError:  # pragma: no cover - client went away
                 return
@@ -774,10 +799,13 @@ class _ServiceRequestHandler(socketserver.StreamRequestHandler):
                 )
 
     def _reply(self, **payload) -> None:
-        self.wfile.write(
-            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        )
-        self.wfile.flush()
+        try:
+            self.wfile.write(
+                (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+        except (OSError, ValueError):  # pragma: no cover - client gone
+            pass
 
     def _dispatch(self, request: dict) -> None:
         service: CompileService = self.server.service  # type: ignore[attr-defined]

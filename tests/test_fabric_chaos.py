@@ -1,0 +1,214 @@
+"""Chaos matrix for the distributed fabric.
+
+The acceptance bar: compiled digests are bit-identical across {local
+pool, 2 remote nodes, 2 remote nodes with seeded faults, cache tier
+down}.  Faults never change *what* is produced, only *how long* it
+takes and which stats counters tick.
+
+CI sweeps ``WARPCC_FABRIC_FAULT`` / ``WARPCC_FABRIC_SEED`` over a
+node-kill / heartbeat-drop / corrupt-cache-response matrix; locally the
+defaults exercise a mixed fault load.  The 200-seed matrix reuses one
+fleet per 50-seed block so the whole sweep stays fast.
+"""
+
+import os
+
+import pytest
+
+from repro.driver.master import ParallelCompiler
+from repro.driver.sequential import SequentialCompiler
+from repro.fabric import (
+    CacheChaos,
+    CacheServiceServer,
+    FabricChaos,
+    FabricHub,
+    NetworkCacheClient,
+    RemoteBackend,
+    TieredCache,
+    WorkerNodeAgent,
+)
+from repro.fuzz import config_for_size_class, generate_program
+from repro.parallel.local import SerialBackend
+from repro.cache.store import ArtifactCache
+
+FAULT_PROFILES = {
+    "node-kill": {"kill_rate": 0.35},
+    "heartbeat-drop": {"heartbeat_drop_rate": 0.7},
+    "truncate": {"truncate_rate": 0.35},
+    "delay-dup": {"delay_rate": 0.3, "duplicate_rate": 0.3, "delay_s": 0.01},
+    "mixed": {
+        "kill_rate": 0.2,
+        "heartbeat_drop_rate": 0.2,
+        "delay_rate": 0.15,
+        "duplicate_rate": 0.15,
+        "truncate_rate": 0.15,
+        "delay_s": 0.01,
+    },
+    # Cache-tier faults are injected at the cache server, not the hub
+    # transport; the fabric itself runs fault-free in that leg.
+    "corrupt-cache-response": {},
+}
+
+ENV_FAULT = os.environ.get("WARPCC_FABRIC_FAULT", "mixed")
+ENV_SEED = int(os.environ.get("WARPCC_FABRIC_SEED", "0"))
+
+
+def _sources(seeds, size_class):
+    config = config_for_size_class(size_class)
+    return [generate_program(seed, config).source for seed in seeds]
+
+
+class _Fleet:
+    """One hub with a chaos-wrapped node and a healthy node.
+
+    The healthy node guarantees forward progress no matter how nasty the
+    chaos profile is; the chaotic one exists to die, stall, and corrupt.
+    """
+
+    def __init__(self, fault: str, seed: int):
+        profile = FAULT_PROFILES[fault]
+        self.hub = FabricHub(lease_ttl=2.0, heartbeat_interval=0.4)
+        self.chaos = FabricChaos(seed=seed, **profile) if profile else None
+        self.agents = [
+            WorkerNodeAgent(
+                self.hub.address,
+                SerialBackend(),
+                node_id="chaotic",
+                chaos=self.chaos,
+            ).start(),
+            WorkerNodeAgent(
+                self.hub.address, SerialBackend(), node_id="healthy"
+            ).start(),
+        ]
+        assert self.hub.wait_for_nodes(2, timeout=15.0)
+        self.backend = RemoteBackend(self.hub)
+
+    def compile(self, source: str):
+        return ParallelCompiler(backend=self.backend).compile(source)
+
+    def close(self):
+        for agent in self.agents:
+            agent.stop()
+        self.hub.close()
+
+
+@pytest.fixture
+def fleet():
+    f = _Fleet(ENV_FAULT, ENV_SEED)
+    yield f
+    f.close()
+
+
+class TestDigestIdentity:
+    """One program, every deployment shape, one digest."""
+
+    SEED = 11
+
+    def test_all_shapes_agree(self, fleet, tmp_path):
+        source = _sources([self.SEED], "small")[0]
+        reference = SequentialCompiler().compile(source).digest
+
+        # Local pool (the shape every earlier PR proved).
+        local = ParallelCompiler().compile(source)
+        assert local.digest == reference
+
+        # Two remote nodes, seeded faults on one of them.
+        remote = fleet.compile(source)
+        assert remote.digest == reference
+
+        # Cache tier down: a client pointed at a dead endpoint must
+        # degrade to local-only caching, not fail the compile.
+        dead_client = NetworkCacheClient("127.0.0.1:1", timeout=0.2)
+        cache = TieredCache(
+            ArtifactCache(cache_dir=tmp_path / "cache"), dead_client
+        )
+        try:
+            cached = ParallelCompiler(cache=cache).compile(source)
+        finally:
+            cache.close()
+        assert cached.digest == reference
+        assert dead_client.disabled
+
+    def test_corrupt_cache_responses_never_poison_a_compile(self, tmp_path):
+        source = _sources([self.SEED], "small")[0]
+        reference = SequentialCompiler().compile(source).digest
+        chaos = CacheChaos(seed=ENV_SEED, corrupt_rate=1.0)
+        with CacheServiceServer(tmp_path / "server", chaos=chaos) as server:
+            # Warm the remote tier with real artifacts first.
+            warm_client = NetworkCacheClient(server.address)
+            warm = TieredCache(
+                ArtifactCache(cache_dir=tmp_path / "warm"), warm_client
+            )
+            try:
+                assert ParallelCompiler(cache=warm).compile(source).digest == reference
+                warm.flush()
+            finally:
+                warm.close()
+
+            # A cold machine now reads corrupt responses: every one must
+            # be rejected by payload-digest validation and fall through
+            # to a real compile with the right answer.
+            client = NetworkCacheClient(server.address)
+            cache = TieredCache(
+                ArtifactCache(cache_dir=tmp_path / "cold"), client
+            )
+            try:
+                result = ParallelCompiler(cache=cache).compile(source)
+            finally:
+                cache.close()
+        assert result.digest == reference
+        assert client.corrupt_responses > 0
+
+
+class TestChaosMatrix:
+    """200 seeds, four blocks, one fleet per block.
+
+    Every generated program must compile to the same digest through the
+    chaotic fabric as through the sequential reference.
+    """
+
+    @pytest.mark.parametrize("block", range(4))
+    def test_block(self, block):
+        size_class = ("tiny", "small", "medium", "small")[block]
+        seeds = range(block * 50, block * 50 + 50)
+        sources = _sources(seeds, size_class)
+        references = [
+            SequentialCompiler().compile(source).digest for source in sources
+        ]
+        fleet = _Fleet(ENV_FAULT, ENV_SEED + block)
+        try:
+            for source, reference in zip(sources, references):
+                assert fleet.compile(source).digest == reference
+        finally:
+            fleet.close()
+        # The suite is only meaningful if faults actually fired (the
+        # cache-response fault leg injects nothing at the hub transport).
+        if fleet.chaos is not None and ENV_FAULT != "corrupt-cache-response":
+            fired = (
+                fleet.chaos.kills_injected
+                + fleet.chaos.heartbeats_dropped
+                + fleet.chaos.frames_delayed
+                + fleet.chaos.frames_duplicated
+                + fleet.chaos.frames_truncated
+            )
+            assert fired > 0, "chaos profile injected nothing"
+
+
+class TestRequeueAccounting:
+    def test_node_kill_chaos_requeues_and_dedups_consistently(self):
+        """Under a pure node-kill profile the hub's books must balance:
+        every kill costs at most one requeue per open task, results are
+        deduplicated rather than doubled, and nothing is lost."""
+        fleet = _Fleet("node-kill", ENV_SEED)
+        try:
+            for source in _sources(range(3), "small"):
+                reference = SequentialCompiler().compile(source).digest
+                assert fleet.compile(source).digest == reference
+            stats = fleet.hub.stats
+        finally:
+            fleet.close()
+        if fleet.chaos.kills_injected:
+            assert stats.nodes_lost >= 1
+            assert stats.tasks_requeued >= 1
+        # Dedup only ever *drops* duplicates; totals never exceed inputs.
+        assert stats.results_deduped <= stats.tasks_requeued

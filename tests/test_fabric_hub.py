@@ -1,0 +1,268 @@
+"""Fabric hub: leases, heartbeats, exact re-queue, dedup, degradation."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.driver.function_master import FunctionTask
+from repro.driver.master import ParallelCompiler
+from repro.driver.sequential import SequentialCompiler
+from repro.fabric import FabricHub, RemoteBackend, WorkerNodeAgent
+from repro.fabric.wire import Connection
+from repro.parallel.local import SerialBackend
+from repro.parallel.supervisor import SupervisedBackend
+from repro.service import CompileService
+
+SOURCE = """
+module hub_mod
+section s (cells 0..1)
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to 3 do receive(v); send(v * 2.0); end;
+  end
+  function double_it()
+  var x: float;
+  begin
+    receive(x); send(x + x);
+  end
+  function third()
+  var y: float;
+  begin
+    receive(y); send(y * 3.0);
+  end
+end
+end
+"""
+
+FUNCTIONS = ("main", "double_it", "third")
+
+
+def _tasks():
+    return [
+        FunctionTask(
+            source_text=SOURCE,
+            filename="hub_mod.w2",
+            section_name="s",
+            function_name=name,
+        )
+        for name in FUNCTIONS
+    ]
+
+
+def _sequential_digest():
+    return SequentialCompiler().compile(SOURCE).digest
+
+
+class FakeNode:
+    """A scripted peer speaking the node protocol — the test decides
+    exactly which frames to send and when to vanish."""
+
+    def __init__(self, address, node_id="fake", workers=4, timeout=10.0):
+        host, _, port = address.rpartition(":")
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+        sock.settimeout(timeout)
+        self.conn = Connection(sock)
+        self.conn.send(
+            {"op": "register", "node": node_id, "workers": workers}
+        )
+        welcome = self.conn.recv()
+        assert welcome and welcome.get("ok"), welcome
+
+    def recv_task(self):
+        while True:
+            frame = self.conn.recv()
+            assert frame is not None, "hub closed the connection"
+            if frame.get("op") == "task":
+                return frame
+            if frame.get("op") == "shutdown":
+                raise AssertionError("hub shut down mid-test")
+
+    def heartbeat(self):
+        self.conn.send({"op": "heartbeat"})
+
+    def vanish(self):
+        """Die abruptly: no goodbye, no acks — the crash case."""
+        self.conn.close()
+
+
+@pytest.fixture
+def hub():
+    with FabricHub(lease_ttl=1.0, heartbeat_interval=0.2) as h:
+        yield h
+
+
+class TestRegistration:
+    def test_agents_register_and_count_workers(self, hub):
+        agents = [
+            WorkerNodeAgent(
+                hub.address, SerialBackend(), node_id=f"n{i}"
+            ).start()
+            for i in range(2)
+        ]
+        try:
+            assert hub.wait_for_nodes(2, timeout=10.0)
+            assert hub.live_node_count() == 2
+            assert hub.total_workers() == 2
+            assert RemoteBackend(hub).worker_count == 2
+            assert hub.node_ids() == ["n0", "n1"]
+        finally:
+            for agent in agents:
+                agent.stop()
+
+    def test_silent_node_loses_its_lease(self, hub):
+        node = FakeNode(hub.address, node_id="mute")
+        assert hub.wait_for_nodes(1, timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while hub.live_node_count() and time.monotonic() < deadline:
+            time.sleep(0.05)  # no heartbeats: the lease must expire
+        assert hub.live_node_count() == 0
+        assert hub.stats.nodes_lost == 1
+        node.vanish()
+
+    def test_heartbeats_keep_a_lease_alive(self, hub):
+        node = FakeNode(hub.address, node_id="beater")
+        assert hub.wait_for_nodes(1, timeout=10.0)
+        for _ in range(10):  # 2+ lease lifetimes
+            node.heartbeat()
+            time.sleep(0.2)
+        assert hub.live_node_count() == 1
+        assert hub.stats.nodes_lost == 0
+        node.vanish()
+
+    def test_reconnecting_node_supersedes_its_stale_lease(self, hub):
+        first = FakeNode(hub.address, node_id="same")
+        assert hub.wait_for_nodes(1, timeout=10.0)
+        second = FakeNode(hub.address, node_id="same")
+        deadline = time.monotonic() + 10.0
+        while hub.stats.nodes_registered < 2 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert hub.live_node_count() == 1
+        assert hub.stats.nodes_registered == 2
+        first.vanish()
+        second.vanish()
+
+
+class TestSchedulingAndFailure:
+    def test_remote_compile_matches_sequential(self, hub):
+        agents = [
+            WorkerNodeAgent(
+                hub.address, SerialBackend(), node_id=f"n{i}"
+            ).start()
+            for i in range(2)
+        ]
+        try:
+            assert hub.wait_for_nodes(2, timeout=10.0)
+            result = ParallelCompiler(backend=RemoteBackend(hub)).compile(
+                SOURCE
+            )
+            assert result.digest == _sequential_digest()
+            assert hub.stats.tasks_dispatched == len(FUNCTIONS)
+            assert hub.stats.degraded_waves == 0
+        finally:
+            for agent in agents:
+                agent.stop()
+
+    def test_dead_node_requeues_exactly_its_unacked_tasks(self, hub):
+        """The acceptance invariant: a node that vanishes re-queues each
+        unacknowledged task exactly once, and a result it managed to
+        send before dying still wins (no lost, no duplicated results)."""
+        fake = FakeNode(hub.address, node_id="doomed", workers=4)
+        assert hub.wait_for_nodes(1, timeout=10.0)
+
+        backend = RemoteBackend(hub)
+        results = []
+        consumer = threading.Thread(
+            target=lambda: results.extend(backend.run_tasks(_tasks())),
+            daemon=True,
+        )
+        consumer.start()
+
+        frames = [fake.recv_task() for _ in range(3)]
+        assert {f["id"] for f in frames} == {"w0.0", "w0.1", "w0.2"}
+        # Complete ONE task for real (result + ack), send the result of a
+        # SECOND without the ack, then crash.
+        from repro.driver.function_master import run_compile_task
+        from repro.fabric.wire import decode_task, encode_result
+
+        done_frame, unacked_frame, untouched_frame = frames
+        done_result = run_compile_task(decode_task(done_frame))[0]
+        fake.conn.send(encode_result(done_result, done_frame["id"]))
+        fake.conn.send({"op": "task-done", "id": done_frame["id"]})
+        unacked_result = run_compile_task(decode_task(unacked_frame))[0]
+        fake.conn.send(encode_result(unacked_result, unacked_frame["id"]))
+        fake.vanish()  # no ack for task 2, nothing at all for task 3
+
+        consumer.join(timeout=60.0)
+        assert not consumer.is_alive(), "wave never completed"
+        # Exactly one result per function: nothing lost, nothing doubled.
+        keys = sorted(r.function_name for r in results)
+        assert keys == sorted(FUNCTIONS)
+        # Exactly the two unacknowledged tasks were re-queued; the acked
+        # one was not.
+        assert hub.stats.tasks_requeued == 2
+        # No other fleet: both re-queued tasks fell back locally, and the
+        # re-run of the already-yielded result was deduplicated.
+        assert hub.stats.tasks_local_fallback == 2
+        assert hub.stats.results_deduped == 1
+        assert hub.stats.nodes_lost == 1
+
+    def test_zero_nodes_degrades_to_the_local_pool(self, hub):
+        backend = RemoteBackend(hub)
+        result = ParallelCompiler(backend=backend).compile(SOURCE)
+        assert result.digest == _sequential_digest()
+        assert hub.stats.degraded_waves == 1
+        assert hub.stats.tasks_dispatched == 0
+
+    def test_node_joining_mid_stream_is_used_next_wave(self, hub):
+        backend = RemoteBackend(hub)
+        assert backend.worker_count == 1  # floor, not zero
+        agent = WorkerNodeAgent(
+            hub.address, SerialBackend(), node_id="late"
+        ).start()
+        try:
+            assert hub.wait_for_nodes(1, timeout=10.0)
+            result = ParallelCompiler(backend=backend).compile(SOURCE)
+            assert result.digest == _sequential_digest()
+            assert hub.stats.tasks_dispatched == len(FUNCTIONS)
+        finally:
+            agent.stop()
+
+    def test_empty_wave_is_a_noop(self, hub):
+        assert RemoteBackend(hub).run_tasks([]) == []
+
+
+class TestComposition:
+    def test_supervised_backend_composes_unchanged(self, hub):
+        agents = [
+            WorkerNodeAgent(
+                hub.address, SerialBackend(), node_id=f"n{i}"
+            ).start()
+            for i in range(2)
+        ]
+        try:
+            assert hub.wait_for_nodes(2, timeout=10.0)
+            backend = SupervisedBackend(
+                RemoteBackend(hub), hedge_after=None
+            )
+            result = ParallelCompiler(backend=backend).compile(SOURCE)
+            assert result.digest == _sequential_digest()
+        finally:
+            for agent in agents:
+                agent.stop()
+
+    def test_compile_service_composes_unchanged(self, hub):
+        agent = WorkerNodeAgent(
+            hub.address, SerialBackend(), node_id="svc"
+        ).start()
+        try:
+            assert hub.wait_for_nodes(1, timeout=10.0)
+            with CompileService(RemoteBackend(hub)) as service:
+                job_id = service.submit(SOURCE, tenant="alice")
+                job = service.wait(job_id, timeout=60.0)
+                assert job.state == "done"
+                assert job.result.digest == _sequential_digest()
+        finally:
+            agent.stop()

@@ -1,0 +1,194 @@
+"""Fabric wire protocol: bounded framing, digest validation, backoff."""
+
+import io
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.driver.function_master import FunctionTask, run_compile_task
+from repro.fabric.wire import (
+    ProtocolError,
+    WireCorruption,
+    backoff_delays,
+    connect_with_backoff,
+    decode_frame,
+    decode_result,
+    decode_task,
+    encode_frame,
+    encode_result,
+    encode_task,
+    pack_blob,
+    read_frame_line,
+    unpack_blob,
+)
+
+SOURCE = """
+module wire_mod
+section s (cells 0..0)
+  function main()
+  var v: float; k: int;
+  begin
+    for k := 1 to 3 do receive(v); send(v * 2.0); end;
+  end
+end
+end
+"""
+
+
+def _compiled_result():
+    task = FunctionTask(
+        source_text=SOURCE,
+        filename="wire_mod.w2",
+        section_name="s",
+        function_name="main",
+    )
+    return task, run_compile_task(task)[0]
+
+
+class TestFraming:
+    def test_reads_one_line(self):
+        stream = io.BytesIO(b'{"op": "ping"}\n{"op": "next"}\n')
+        assert read_frame_line(stream) == b'{"op": "ping"}\n'
+        assert read_frame_line(stream) == b'{"op": "next"}\n'
+        assert read_frame_line(stream) is None  # clean EOF
+
+    def test_oversized_line_is_a_protocol_error(self):
+        stream = io.BytesIO(b"x" * 100 + b"\n")
+        with pytest.raises(ProtocolError) as excinfo:
+            read_frame_line(stream, max_bytes=64)
+        assert excinfo.value.reason == "oversized-frame"
+
+    def test_stream_dying_mid_line_is_truncated_not_parsed(self):
+        stream = io.BytesIO(b'{"op": "pi')  # no newline: writer died
+        with pytest.raises(ProtocolError) as excinfo:
+            read_frame_line(stream)
+        assert excinfo.value.reason == "truncated-frame"
+
+    def test_line_exactly_at_bound_is_fine(self):
+        line = b"a" * 63 + b"\n"
+        stream = io.BytesIO(line)
+        assert read_frame_line(stream, max_bytes=64) == line
+
+    def test_malformed_json_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"this is not json\n")
+        assert excinfo.value.reason == "bad-json"
+
+    def test_non_object_frame_is_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"[1, 2, 3]\n")
+        assert excinfo.value.reason == "bad-request"
+
+    def test_undecodable_bytes_are_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe garbage \xff\n")
+
+    def test_encode_decode_roundtrip(self):
+        frame = {"op": "ping", "n": 3}
+        assert decode_frame(encode_frame(frame)) == frame
+
+
+class TestBlobCodec:
+    def test_task_roundtrip(self):
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")
+        assert frame["op"] == "task" and frame["id"] == "w0.0"
+        decoded = decode_task(frame)
+        assert decoded.section_name == "s"
+        assert decoded.function_name == "main"
+        assert decoded.source_text == task.source_text
+
+    def test_result_roundtrip_preserves_payload_digest(self):
+        _, result = _compiled_result()
+        assert result.payload_digest is not None  # sealed by the master
+        decoded = decode_result(encode_result(result, "w0.0"))
+        assert decoded.payload_digest == result.payload_digest
+        assert decoded.obj.digest_text() == result.obj.digest_text()
+
+    def test_blob_digest_mismatch_is_corruption(self):
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")
+        frame["sha256"] = "0" * 64
+        with pytest.raises(WireCorruption):
+            decode_task(frame)
+
+    def test_tampered_blob_is_corruption(self):
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")
+        blob = frame["blob"]
+        frame["blob"] = blob[:10] + ("A" if blob[10] != "A" else "B") + blob[11:]
+        with pytest.raises(WireCorruption):
+            decode_task(frame)
+
+    def test_wrong_payload_type_is_corruption(self):
+        frame = pack_blob({"not": "a task"})
+        with pytest.raises(WireCorruption):
+            unpack_blob(frame, FunctionTask)
+
+    def test_result_failing_sealed_digest_is_corruption(self):
+        """A worker that pickled garbage under a stale seal is caught at
+        the wire even though the blob digest (of the garbage) matches."""
+        _, result = _compiled_result()
+        result.obj.frame_words += 1  # payload changed, seal left stale
+        frame = encode_result(result, "w0.0")
+        with pytest.raises(WireCorruption):
+            decode_result(frame)
+
+
+class TestBackoff:
+    def test_delays_are_capped_and_jittered(self):
+        rng = random.Random(7)
+        delays = list(backoff_delays(10, base=0.05, cap=0.4, rng=rng))
+        assert len(delays) == 10
+        # Jitter is ±50%: nothing above cap * 1.5, nothing negative.
+        assert all(0.0 <= d <= 0.4 * 1.5 for d in delays)
+        # Early delays are near base, not near cap.
+        assert delays[0] < 0.1
+
+    def test_deterministic_under_a_seeded_rng(self):
+        a = list(backoff_delays(5, rng=random.Random(3)))
+        b = list(backoff_delays(5, rng=random.Random(3)))
+        assert a == b
+
+    def test_connect_retries_through_the_startup_race(self):
+        """The listener binds *after* the first connect attempt; the
+        capped-backoff connect must win anyway."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # port free again: connects are refused for now
+
+        server_up = threading.Event()
+
+        def late_bind():
+            time.sleep(0.2)
+            listener = socket.socket()
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+            server_up.set()
+            conn, _ = listener.accept()
+            conn.close()
+            listener.close()
+
+        thread = threading.Thread(target=late_bind, daemon=True)
+        thread.start()
+        sock = connect_with_backoff(
+            "127.0.0.1", port, attempts=12, base=0.05, cap=0.3
+        )
+        sock.close()
+        assert server_up.is_set()
+        thread.join(timeout=5)
+
+    def test_connect_gives_up_with_the_real_error(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ConnectionRefusedError):
+            connect_with_backoff(
+                "127.0.0.1", port, attempts=2, base=0.01, cap=0.02
+            )

@@ -63,6 +63,26 @@ class TestOracleAgreement:
         with pytest.raises(ValueError):
             DifferentialOracle(OracleConfig(pipelines=("warp-speed",)))
 
+    def test_fabric_leg_matches_sequential(self):
+        """The fabric pipeline compiles through a loopback hub with two
+        node agents and must agree digest-for-digest with sequential."""
+        config = OracleConfig(pipelines=("sequential", "fabric"))
+        with DifferentialOracle(config) as oracle:
+            for seed in range(3):
+                program = generate_program(
+                    seed, config_for_size_class("tiny")
+                )
+                report = oracle.check(
+                    program.source, inputs=program.inputs(), seed=seed
+                )
+                assert report.ok, (seed, report.describe())
+                digests = {
+                    o.pipeline: o.digest
+                    for o in report.outcomes
+                    if o.pipeline in ("sequential", "fabric")
+                }
+                assert digests["fabric"] == digests["sequential"]
+
     def test_rejected_module_is_not_a_mismatch(self):
         bad = wrap_function(
             "function f(x: float) : float begin return y; end"
@@ -220,7 +240,12 @@ class TestCampaign:
         assert 0 < result.iterations_run < 10_000
 
     def test_all_pipelines_constant_covers_matrix(self):
-        assert set(DEFAULT_PIPELINES) == set(ALL_PIPELINES) - {"warm-pool"}
+        # warm-pool forks processes and fabric opens loopback sockets;
+        # both stay opt-in so the default matrix is cheap and sandboxed.
+        assert set(DEFAULT_PIPELINES) == set(ALL_PIPELINES) - {
+            "warm-pool",
+            "fabric",
+        }
 
 
 def test_cli_fuzz_smoke(capsys):

@@ -3,6 +3,7 @@
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -130,6 +131,107 @@ class TestProtocol:
             assert excinfo.value.reason == "tenant-cap"
         finally:
             service.per_tenant_inflight = 8
+
+    def test_bad_json_reply_names_the_reason_and_drops_the_connection(
+        self, endpoint
+    ):
+        address, _ = endpoint
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b"{not json]\n")
+            rfile = sock.makefile("rb")
+            reply = json.loads(rfile.readline())
+            assert reply["ok"] is False
+            assert reply["reason"] == "bad-json"
+            # Framing state is unknowable after garbage: the server must
+            # drop the connection, not keep guessing at line boundaries.
+            assert rfile.readline() == b""
+        assert ServiceClient(address).ping()["ok"] is True
+
+    def test_oversized_line_is_refused_not_buffered(self, endpoint, monkeypatch):
+        import repro.service.server as server_mod
+
+        monkeypatch.setattr(server_mod, "MAX_REQUEST_BYTES", 256)
+        address, _ = endpoint
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b'{"op": "ping", "pad": "' + b"x" * 4096 + b'"}\n')
+            rfile = sock.makefile("rb")
+            reply = json.loads(rfile.readline())
+            assert reply["ok"] is False
+            assert reply["reason"] == "oversized-frame"
+            assert rfile.readline() == b""
+        assert ServiceClient(address).ping()["ok"] is True
+
+    def test_connection_dying_mid_line_never_parses(self, endpoint):
+        address, _ = endpoint
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b'{"op": "shut')  # no newline: writer died here
+            sock.shutdown(socket.SHUT_WR)
+            rfile = sock.makefile("rb")
+            reply = json.loads(rfile.readline())
+            assert reply["ok"] is False
+            assert reply["reason"] == "truncated-frame"
+        # The partial frame was never dispatched: the service is still up.
+        assert ServiceClient(address).ping()["ok"] is True
+
+    def test_non_object_frame_is_rejected(self, endpoint):
+        address, _ = endpoint
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b"[1, 2, 3]\n")
+            rfile = sock.makefile("rb")
+            reply = json.loads(rfile.readline())
+            assert reply["ok"] is False
+            assert reply["reason"] == "bad-request"
+
+    def test_blank_lines_are_skipped_not_errors(self, endpoint):
+        address, _ = endpoint
+        host, port = parse_address(address)
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(b'\n\n{"op": "ping"}\n')
+            reply = json.loads(sock.makefile("rb").readline())
+            assert reply["ok"] is True
+
+    def test_client_retries_initial_connect_through_startup_race(self):
+        """``warpcc submit`` racing ``warpcc serve`` binding its socket:
+        the client's capped-backoff connect must ride out the refused
+        window and succeed once the server is up."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # port free: connects refused until we bind below
+
+        service = CompileService(SerialBackend(), max_running=2)
+        started = threading.Event()
+
+        def late_serve():
+            time.sleep(0.3)
+            server = ServiceSocketServer(service, port=port)
+            started.set()
+            server.serve_until_shutdown()
+
+        thread = threading.Thread(target=late_serve, daemon=True)
+        thread.start()
+        client = ServiceClient(
+            f"127.0.0.1:{port}", connect_attempts=12, connect_backoff=0.05
+        )
+        assert client.ping()["ok"] is True
+        assert started.is_set()
+        client.shutdown(drain=False)
+        thread.join(timeout=30.0)
+
+    def test_client_connect_gives_up_with_the_real_error(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            f"127.0.0.1:{port}", connect_attempts=2, connect_backoff=0.01
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client.ping()
 
     def test_shutdown_drains_in_flight_jobs(self):
         service = CompileService(SerialBackend())
