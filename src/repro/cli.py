@@ -316,7 +316,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run a fabric hub on this port (0: pick a free port) "
         "and schedule compile tasks onto registered 'warpcc worker' "
         "nodes; the local pool remains the fallback when zero nodes "
-        "hold live leases",
+        "hold live leases.  Export WARPCC_FABRIC_SECRET (same value on "
+        "every hub/worker/cache process) to require authenticated "
+        "registration and HMAC-tagged payloads; without it the port is "
+        "unauthenticated — trusted networks only",
     )
     serve_cmd.add_argument(
         "--cache-url", default=None, metavar="HOST:PORT",
@@ -332,7 +335,8 @@ def _build_parser() -> argparse.ArgumentParser:
     worker_cmd.add_argument(
         "--connect", required=True, metavar="HOST:PORT",
         help="fabric hub address (what 'warpcc serve --fabric-port' "
-        "printed)",
+        "printed); export WARPCC_FABRIC_SECRET to match a hub that "
+        "requires authentication",
     )
     worker_cmd.add_argument(
         "--workers", type=int, default=None,

@@ -23,6 +23,14 @@ Robustness model (see INTERNALS.md §Distributed fabric):
 - the two-tier artifact cache (:mod:`repro.fabric.netcache`) treats
   every network-tier failure as a miss — cache trouble can cost a
   recompile, never a wrong artifact and never a failed compile.
+
+Security model: pickled payloads are only ever decoded through a
+closed-allowlist unpickler, and setting ``WARPCC_FABRIC_SECRET`` on
+every hub, worker, and cache process additionally authenticates node
+registration (challenge-response) and every blob (HMAC-SHA256,
+constant-time compared before unpickling).  Without the secret the
+ports are unauthenticated and must only be exposed on trusted networks
+— the defaults bind 127.0.0.1.
 """
 
 from .chaos import CacheChaos, FabricChaos
@@ -35,18 +43,23 @@ from .netcache import (
 )
 from .node import WorkerNodeAgent
 from .wire import (
+    FABRIC_SECRET_ENV,
+    AuthenticationError,
     Connection,
     ProtocolError,
     WireCorruption,
     backoff_delays,
     decode_frame,
+    fabric_secret,
     read_frame_line,
 )
 
 __all__ = [
+    "AuthenticationError",
     "CacheChaos",
     "CacheServiceServer",
     "Connection",
+    "FABRIC_SECRET_ENV",
     "FabricChaos",
     "FabricHub",
     "FabricStats",
@@ -59,5 +72,6 @@ __all__ = [
     "WorkerNodeAgent",
     "backoff_delays",
     "decode_frame",
+    "fabric_secret",
     "read_frame_line",
 ]

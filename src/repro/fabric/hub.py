@@ -27,6 +27,8 @@ the fuzz oracle — schedules onto the fleet unchanged.
 
 from __future__ import annotations
 
+import hmac
+import os
 import queue
 import socketserver
 import threading
@@ -45,6 +47,8 @@ from .wire import (
     WireCorruption,
     decode_result,
     encode_task,
+    fabric_secret,
+    hmac_tag,
 )
 
 #: Lease/heartbeat defaults: a node missing ~3 heartbeats is lost.
@@ -188,7 +192,11 @@ class FabricHub:
         host, port = self._server.server_address[:2]
         return f"{host}:{port}"
 
-    def close(self) -> None:
+    def close(self, retire_fleet: bool = False) -> None:
+        """Stop the hub.  Agents treat the plain ``shutdown`` as
+        end-of-session and reconnect with backoff (a hub restart must
+        not require touching every machine); ``retire_fleet=True``
+        marks it a fleet retirement, telling every agent to exit."""
         with self._lock:
             if self._closed:
                 return
@@ -201,7 +209,7 @@ class FabricHub:
         self._local_queue.put(None)
         for node in nodes:
             try:
-                node.conn.send({"op": "shutdown"})
+                node.conn.send({"op": "shutdown", "retire": retire_fleet})
             except Exception:  # noqa: BLE001 - node may already be gone
                 pass
             node.conn.close()
@@ -258,6 +266,8 @@ class FabricHub:
                     }
                 )
                 return
+            if not self._authenticate(conn):
+                return
             node = self._register(conn, frame)
             conn.send(
                 {
@@ -304,6 +314,36 @@ class FabricHub:
             if node is not None:
                 self._lose_node(node.node_id, reason, expect=node)
             conn.close()
+
+    def _authenticate(self, conn: Connection) -> bool:
+        """Challenge-response proof of the shared secret, when one is
+        configured.  Runs *before* registration: a peer that cannot
+        answer never gains a lease, so no task payload (which carries
+        tenant source text) is ever sent to an unauthenticated socket.
+        Without a secret the fabric is open — trusted networks only."""
+        secret = fabric_secret()
+        if secret is None:
+            return True
+        nonce = os.urandom(16).hex()
+        conn.send({"op": "challenge", "nonce": nonce})
+        reply = conn.recv()
+        if reply is None:
+            return False
+        tag = reply.get("hmac") if reply.get("op") == "auth" else None
+        if not isinstance(tag, str) or not hmac.compare_digest(
+            tag, hmac_tag(nonce.encode("ascii"), secret)
+        ):
+            conn.send(
+                {
+                    "op": "error",
+                    "ok": False,
+                    "reason": "unauthenticated",
+                    "error": "challenge response does not prove the "
+                    "fabric secret",
+                }
+            )
+            return False
+        return True
 
     def _register(self, conn: Connection, frame: dict) -> _Node:
         node_id = str(frame.get("node") or f"node-{id(conn):x}")
@@ -514,6 +554,13 @@ class FabricHub:
                 with self._lock:
                     state.done = True
                     wave.open_tasks.discard(state.task_id)
+                    if not wave.open_tasks:
+                        # Same sweep _complete_task does: the wave is
+                        # over (its consumer gets the error), so its
+                        # task states must not outlive it.
+                        for tid in list(self._tasks):
+                            if self._tasks[tid].wave is wave:
+                                del self._tasks[tid]
                 wave.queue.put(("error", exc))
                 continue
             for result in results:

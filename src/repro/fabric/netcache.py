@@ -36,6 +36,8 @@ from .wire import (
     Connection,
     ProtocolError,
     decode_frame,
+    fabric_secret,
+    hmac_tag,
     pack_blob,
     read_frame_line,
     unpack_blob,
@@ -180,26 +182,42 @@ class CacheServiceServer:
 def pack_blob_raw(blob: bytes) -> dict:
     """Like :func:`repro.fabric.wire.pack_blob` but for raw bytes the
     caller already pickled (the server must not re-pickle blobs, or the
-    digest would cover pickle-of-pickle)."""
+    digest would cover pickle-of-pickle).  With a shared fabric secret
+    configured the fields carry the same HMAC tag :func:`pack_blob`
+    would add, so clients can authenticate cache-server responses."""
     import base64
     import hashlib
 
-    return {
+    fields = {
         "blob": base64.b64encode(blob).decode("ascii"),
         "sha256": hashlib.sha256(blob).hexdigest(),
     }
+    key = fabric_secret()
+    if key is not None:
+        fields["hmac"] = hmac_tag(blob, key)
+    return fields
 
 
 def unpack_blob_raw(frame: dict) -> bytes:
     import base64
     import hashlib
+    import hmac as hmac_mod
 
-    from .wire import WireCorruption
+    from .wire import AuthenticationError, WireCorruption
 
     try:
         blob = base64.b64decode(str(frame.get("blob", "")).encode("ascii"), validate=True)
     except Exception as exc:  # noqa: BLE001
         raise WireCorruption(f"undecodable blob: {exc}")
+    key = fabric_secret()
+    if key is not None:
+        tag = frame.get("hmac")
+        if not isinstance(tag, str) or not hmac_mod.compare_digest(
+            tag, hmac_tag(blob, key)
+        ):
+            raise AuthenticationError(
+                "blob HMAC missing or wrong (peer lacks the fabric secret?)"
+            )
     if hashlib.sha256(blob).hexdigest() != frame.get("sha256"):
         raise WireCorruption("blob digest mismatch")
     return blob
@@ -304,8 +322,11 @@ class NetworkCacheClient:
             sealed = getattr(result, "payload_digest", None)
             if sealed is None or result_payload_digest(result) != sealed:
                 raise ProtocolError("cache entry fails payload-digest validation")
-        except ProtocolError:
-            # A corrupt network-tier entry is a miss, never an artifact.
+        except Exception:  # noqa: BLE001 - cache trouble must never fail a compile
+            # A corrupt network-tier entry is a miss, never an artifact
+            # and never an error: even a blob that unpickles into a
+            # FunctionTaskResult with mangled internals (payload-digest
+            # derivation raising) degrades to a recompile.
             self.corrupt_responses += 1
             self.remote_misses += 1
             return None

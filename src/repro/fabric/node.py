@@ -9,11 +9,19 @@ streamed back followed by a ``task-done`` acknowledgement.  Heartbeats
 ride a dedicated thread so a node busy compiling still renews its lease.
 
 The agent is deliberately stateless between connections: if the hub
-drops it (lease expiry, protocol error, hub restart) it simply
-reconnects and re-registers.  Any task whose acknowledgement didn't
-reach the hub will be re-queued by the hub's lease machinery — the
-agent never tracks that, which is what keeps the failure model simple
-enough to trust.
+drops it (lease expiry, protocol error, hub restart — including the
+hub's own ``shutdown`` frame, which just ends the session) it simply
+reconnects and re-registers, so restarting ``warpcc serve`` never
+requires touching the fleet.  Only a ``shutdown`` frame flagged
+``retire`` (``FabricHub.close(retire_fleet=True)``) makes the agent
+exit for good.  Any task whose acknowledgement didn't reach the hub
+will be re-queued by the hub's lease machinery — the agent never
+tracks that, which is what keeps the failure model simple enough to
+trust.
+
+When the hub requires a shared secret (``WARPCC_FABRIC_SECRET``), it
+answers registration with a ``challenge`` frame; the agent proves the
+secret with an HMAC over the nonce before the lease is granted.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ from .wire import (
     connect_with_backoff,
     decode_task,
     encode_result,
+    fabric_secret,
+    hmac_tag,
 )
 
 
@@ -142,7 +152,28 @@ class WorkerNodeAgent:
             }
         )
         welcome = conn.recv()
+        if welcome is not None and welcome.get("op") == "challenge":
+            secret = fabric_secret()
+            if secret is None:
+                # The hub requires a secret this agent wasn't given;
+                # pause before the reconnect loop tries again so a
+                # misconfigured agent doesn't hammer the hub.
+                self._stop.wait(self.connect_cap)
+                return
+            nonce = str(welcome.get("nonce", ""))
+            conn.send(
+                {
+                    "op": "auth",
+                    "node": self.node_id,
+                    "hmac": hmac_tag(nonce.encode("ascii"), secret),
+                }
+            )
+            welcome = conn.recv()
         if welcome is None or not welcome.get("ok"):
+            if welcome is not None:
+                # Explicit rejection (failed auth, bad register):
+                # retrying immediately can't help, so don't spin.
+                self._stop.wait(self.connect_cap)
             return
         interval = float(welcome.get("heartbeat_interval", 2.0))
         session_over = threading.Event()
@@ -166,7 +197,12 @@ class WorkerNodeAgent:
                 if op == "task":
                     pool.submit(self._run_task, conn, frame)
                 elif op == "shutdown":
-                    self._stop.set()
+                    # The hub going away ends this *session*, not the
+                    # agent: the reconnect loop retries with backoff so
+                    # a restarted hub finds its fleet waiting.  Only an
+                    # explicit fleet retirement stops the agent.
+                    if frame.get("retire"):
+                        self._stop.set()
                     return
                 elif op == "error":
                     return  # hub rejected us; reconnect fresh

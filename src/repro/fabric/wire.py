@@ -14,24 +14,59 @@ unpickling, and results are additionally re-validated against their
 sealed ``payload_digest`` (:func:`result_payload_digest`) — so a frame
 that was truncated, duplicated-and-spliced, or corrupted anywhere along
 the path is rejected at the crossing, never linked.
+
+The sha256 only catches *accidental* corruption — a peer computes it
+over its own blob, so it proves nothing about who sent the frame.  Two
+mechanisms defend the unpickling boundary against a hostile peer:
+
+- every blob is decoded by a **restricted unpickler** whose global
+  table is a closed allowlist of the task/result dataclasses and their
+  constituents (:data:`ALLOWED_PICKLE_GLOBALS`); a blob referencing any
+  other callable — ``os.system``, ``subprocess.Popen``, anything — is
+  rejected before it can construct, so a pickle can never be turned
+  into code execution;
+- when a shared secret is configured (``WARPCC_FABRIC_SECRET``, read by
+  :func:`fabric_secret`), every blob additionally carries an HMAC-SHA256
+  tag keyed on that secret, compared in constant time *before*
+  unpickling, and hub registration requires a challenge–response proof
+  of the secret before a lease (and therefore any task payload) is
+  granted.
+
+Without a secret the fabric is unauthenticated and its ports must only
+be exposed on trusted networks (the defaults bind 127.0.0.1); see
+INTERNALS.md §Distributed fabric.
 """
 
 from __future__ import annotations
 
 import base64
 import hashlib
+import hmac
+import io
 import json
+import os
 import pickle
 import random
 import socket
 import threading
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
+from ..asmlink.objformat import (
+    AssembledFunction,
+    Bundle,
+    CodegenInfo,
+    MachineOp,
+    ObjectFunction,
+    ScheduledBlock,
+)
 from ..driver.function_master import (
     FunctionTask,
     FunctionTaskResult,
     result_payload_digest,
 )
+from ..driver.results import FunctionReport
+from ..ir.instructions import Opcode
+from ..machine.resources import FUClass, PhysReg
 
 #: Protocol revision; bumped on incompatible frame changes.
 PROTOCOL_VERSION = 1
@@ -60,6 +95,39 @@ class WireCorruption(ProtocolError):
 
     def __init__(self, message: str):
         super().__init__(message, reason="corrupt-payload")
+
+
+class AuthenticationError(WireCorruption):
+    """A frame failed shared-secret authentication.
+
+    Subclasses :class:`WireCorruption` so every handler that already
+    treats corruption as "drop the frame, retry elsewhere" covers the
+    unauthenticated case too — an attacker's frame must never be more
+    disruptive than a flipped bit.
+    """
+
+    def __init__(self, message: str):
+        ProtocolError.__init__(self, message, reason="unauthenticated")
+
+
+#: Environment variable holding the fleet's shared secret.  When set,
+#: every blob crossing the wire must carry a matching HMAC and hub
+#: registration requires a challenge-response proof of the secret.
+FABRIC_SECRET_ENV = "WARPCC_FABRIC_SECRET"
+
+
+def fabric_secret() -> Optional[bytes]:
+    """The shared fleet secret, or None when running unauthenticated."""
+    value = os.environ.get(FABRIC_SECRET_ENV, "")
+    return value.encode("utf-8") if value else None
+
+
+def hmac_tag(data: bytes, key: bytes) -> str:
+    return hmac.new(key, data, hashlib.sha256).hexdigest()
+
+
+#: Sentinel: "resolve the secret from the environment at call time".
+_ENV_SECRET = object()
 
 
 def read_frame_line(rfile, max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> Optional[bytes]:
@@ -103,29 +171,97 @@ def encode_frame(frame: dict) -> bytes:
 
 
 # ---------------------------------------------------------------------------
-# Blob codec: pickle + base64 + sha256, validated on every crossing.
+# Blob codec: pickle + base64 + sha256 (+ HMAC when a secret is set),
+# decoded through a closed-allowlist unpickler on every crossing.
 # ---------------------------------------------------------------------------
+
+#: The only globals a fabric blob may reference: the task/result
+#: dataclasses, their constituent types, and the handful of builtin
+#: containers pickle resolves by name.  Everything else — any function,
+#: any other class — is rejected before the unpickler can construct it,
+#: which is what makes a hostile blob inert rather than remote code
+#: execution.
+ALLOWED_PICKLE_GLOBALS: Dict[Tuple[str, str], type] = {
+    (cls.__module__, cls.__qualname__): cls
+    for cls in (
+        FunctionTask,
+        FunctionTaskResult,
+        FunctionReport,
+        ObjectFunction,
+        AssembledFunction,
+        ScheduledBlock,
+        Bundle,
+        MachineOp,
+        CodegenInfo,
+        Opcode,
+        FUClass,
+        PhysReg,
+        set,
+        frozenset,
+        complex,
+        bytearray,
+        range,
+        slice,
+    )
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):
+        cls = ALLOWED_PICKLE_GLOBALS.get((module, name))
+        if cls is None:
+            raise WireCorruption(
+                f"blob references disallowed global {module}.{name}"
+            )
+        return cls
+
+
+def restricted_loads(blob: bytes):
+    """``pickle.loads`` through the fabric's closed global allowlist."""
+    return _RestrictedUnpickler(io.BytesIO(blob)).load()
 
 
 def _blob_digest(blob: bytes) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def pack_blob(payload) -> dict:
-    """Fields carrying an arbitrary picklable payload plus its digest."""
+def pack_blob(payload, secret=_ENV_SECRET) -> dict:
+    """Fields carrying an arbitrary picklable payload plus its digest.
+
+    With a shared secret configured the fields also carry an HMAC tag
+    keyed on it, proving the blob was produced by a secret holder."""
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    return {
+    key = fabric_secret() if secret is _ENV_SECRET else secret
+    fields = {
         "blob": base64.b64encode(blob).decode("ascii"),
         "sha256": _blob_digest(blob),
     }
+    if key is not None:
+        fields["hmac"] = hmac_tag(blob, key)
+    return fields
 
 
-def unpack_blob(frame: dict, expected_type: type):
-    """Decode, digest-check, and type-check a packed blob."""
+def unpack_blob(frame: dict, expected_type: type, secret=_ENV_SECRET):
+    """Decode, authenticate, digest-check, and type-check a packed blob.
+
+    When a shared secret is configured the frame's HMAC is compared in
+    constant time *before* the blob is unpickled — a peer that does not
+    hold the secret cannot reach the deserializer at all.  Unpickling
+    itself goes through :func:`restricted_loads`.
+    """
     try:
         blob = base64.b64decode(frame["blob"].encode("ascii"), validate=True)
     except Exception as exc:  # noqa: BLE001 - anything here is corruption
         raise WireCorruption(f"undecodable blob: {exc}")
+    key = fabric_secret() if secret is _ENV_SECRET else secret
+    if key is not None:
+        tag = frame.get("hmac")
+        if not isinstance(tag, str) or not hmac.compare_digest(
+            tag, hmac_tag(blob, key)
+        ):
+            raise AuthenticationError(
+                "blob HMAC missing or wrong (peer lacks the fabric secret?)"
+            )
     digest = _blob_digest(blob)
     if digest != frame.get("sha256"):
         raise WireCorruption(
@@ -133,7 +269,9 @@ def unpack_blob(frame: dict, expected_type: type):
             f"content hashes to {digest!r}"
         )
     try:
-        payload = pickle.loads(blob)
+        payload = restricted_loads(blob)
+    except WireCorruption:
+        raise
     except Exception as exc:  # noqa: BLE001
         raise WireCorruption(f"blob does not unpickle: {exc}")
     if not isinstance(payload, expected_type):

@@ -10,7 +10,7 @@ from repro.driver.function_master import FunctionTask
 from repro.driver.master import ParallelCompiler
 from repro.driver.sequential import SequentialCompiler
 from repro.fabric import FabricHub, RemoteBackend, WorkerNodeAgent
-from repro.fabric.wire import Connection
+from repro.fabric.wire import FABRIC_SECRET_ENV, Connection
 from repro.parallel.local import SerialBackend
 from repro.parallel.supervisor import SupervisedBackend
 from repro.service import CompileService
@@ -266,3 +266,122 @@ class TestComposition:
                 assert job.result.digest == _sequential_digest()
         finally:
             agent.stop()
+
+
+class TestAuthentication:
+    """With WARPCC_FABRIC_SECRET set the hub challenges registrations:
+    no lease — and therefore no task payload — for a peer that cannot
+    prove the secret."""
+
+    def test_shared_secret_fleet_compiles(self, monkeypatch):
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "fleet-secret")
+        with FabricHub(lease_ttl=1.0, heartbeat_interval=0.2) as hub:
+            agent = WorkerNodeAgent(
+                hub.address, SerialBackend(), node_id="authed"
+            ).start()
+            try:
+                assert hub.wait_for_nodes(1, timeout=10.0)
+                result = ParallelCompiler(backend=RemoteBackend(hub)).compile(
+                    SOURCE
+                )
+                assert result.digest == _sequential_digest()
+                assert hub.stats.degraded_waves == 0
+            finally:
+                agent.stop()
+
+    def test_peer_without_secret_never_gains_a_lease(self, monkeypatch):
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "fleet-secret")
+        with FabricHub(lease_ttl=1.0, heartbeat_interval=0.2) as hub:
+            host, _, port = hub.address.rpartition(":")
+            sock = socket.create_connection((host, int(port)), timeout=10.0)
+            sock.settimeout(10.0)
+            conn = Connection(sock)
+            conn.send({"op": "register", "node": "intruder", "workers": 4})
+            challenge = conn.recv()
+            assert challenge is not None
+            assert challenge.get("op") == "challenge"  # not a welcome
+            conn.send({"op": "auth", "hmac": "0" * 64})
+            rejection = conn.recv()
+            assert rejection is not None
+            assert not rejection.get("ok")
+            assert rejection.get("reason") == "unauthenticated"
+            assert hub.live_node_count() == 0
+            assert hub.stats.nodes_registered == 0
+            conn.close()
+
+
+class TestHubRestart:
+    def test_agent_outlives_the_hub_and_rejoins_its_successor(self):
+        """Restarting 'warpcc serve' must not tear down the fleet: the
+        plain shutdown frame ends the session, and the agent's
+        reconnect loop finds the successor hub on the same port."""
+        first = FabricHub(lease_ttl=1.0, heartbeat_interval=0.2)
+        port = int(first.address.rpartition(":")[2])
+        agent = WorkerNodeAgent(
+            first.address,
+            SerialBackend(),
+            node_id="persistent",
+            connect_attempts=16,
+        ).start()
+        second = None
+        try:
+            assert first.wait_for_nodes(1, timeout=10.0)
+            first.close()  # hub restart, not fleet retirement
+            second = FabricHub(
+                port=port, lease_ttl=1.0, heartbeat_interval=0.2
+            )
+            assert second.wait_for_nodes(1, timeout=30.0)
+            assert second.node_ids() == ["persistent"]
+        finally:
+            agent.stop()
+            first.close()
+            if second is not None:
+                second.close()
+
+    def test_retire_fleet_stops_the_agents(self):
+        hub = FabricHub(lease_ttl=1.0, heartbeat_interval=0.2)
+        agent = WorkerNodeAgent(
+            hub.address, SerialBackend(), node_id="retiree"
+        ).start()
+        try:
+            assert hub.wait_for_nodes(1, timeout=10.0)
+            hub.close(retire_fleet=True)
+            agent._thread.join(timeout=10.0)
+            assert not agent._thread.is_alive(), "agent ignored retirement"
+        finally:
+            agent.stop()
+
+
+class TestWaveCleanup:
+    def test_authoritative_error_purges_the_wave_state(self, hub):
+        """A compile error on the wave's last open task must sweep the
+        wave's task states out of the hub (a long-running serve process
+        would otherwise leak one wave per failed compile)."""
+        fake = FakeNode(hub.address, node_id="bouncer")
+        assert hub.wait_for_nodes(1, timeout=10.0)
+        bad = FunctionTask(
+            source_text="this is not a module",
+            filename="bad.w2",
+            section_name="s",
+            function_name="main",
+        )
+        backend = RemoteBackend(hub)
+        errors = []
+
+        def consume():
+            try:
+                backend.run_tasks([bad])
+            except Exception as exc:  # noqa: BLE001 - the point of the test
+                errors.append(exc)
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        frame = fake.recv_task()
+        # The node bounces the task; the local fallback reproduces the
+        # canonical compile error, which ends the wave.
+        fake.conn.send({"op": "task-failed", "id": frame["id"], "error": "boom"})
+        consumer.join(timeout=60.0)
+        assert not consumer.is_alive(), "wave never surfaced the error"
+        assert errors, "compile error was swallowed"
+        assert hub._tasks == {}, "failed wave leaked its task states"
+        fake.vanish()

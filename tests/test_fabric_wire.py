@@ -10,6 +10,8 @@ import pytest
 
 from repro.driver.function_master import FunctionTask, run_compile_task
 from repro.fabric.wire import (
+    FABRIC_SECRET_ENV,
+    AuthenticationError,
     ProtocolError,
     WireCorruption,
     backoff_delays,
@@ -192,3 +194,110 @@ class TestBackoff:
             connect_with_backoff(
                 "127.0.0.1", port, attempts=2, base=0.01, cap=0.02
             )
+
+
+class TestRestrictedUnpickling:
+    """A blob is decoded through a closed global allowlist: whatever a
+    hostile peer pickles, nothing outside the task/result object graph
+    can ever be constructed — let alone called."""
+
+    def test_hostile_blob_is_rejected_not_executed(self, tmp_path):
+        import base64
+        import hashlib
+        import os
+        import pickle
+
+        canary = tmp_path / "pwned"
+
+        class Evil:
+            def __reduce__(self):
+                return (os.system, (f"touch {canary}",))
+
+        blob = pickle.dumps(Evil(), protocol=pickle.HIGHEST_PROTOCOL)
+        frame = {
+            "op": "result",
+            "id": "w0.0",
+            "blob": base64.b64encode(blob).decode("ascii"),
+            "sha256": hashlib.sha256(blob).hexdigest(),
+        }
+        with pytest.raises(WireCorruption):
+            decode_result(frame)
+        assert not canary.exists(), "restricted unpickler executed a payload"
+
+    def test_blob_referencing_foreign_class_is_corruption(self):
+        from fractions import Fraction
+
+        frame = pack_blob(Fraction(1, 2))
+        with pytest.raises(WireCorruption):
+            unpack_blob(frame, object)
+
+    def test_allowlist_admits_the_real_object_graph(self):
+        """The full compiled result — object function, bundles, enums,
+        registers, assembled form — survives the restricted decoder."""
+        _, result = _compiled_result()
+        decoded = decode_result(encode_result(result, "w0.0"))
+        assert decoded.obj.digest_text() == result.obj.digest_text()
+        if result.assembled is not None:
+            assert decoded.assembled.digest_text() == result.assembled.digest_text()
+
+
+class TestAuthentication:
+    """With WARPCC_FABRIC_SECRET set, every blob carries an HMAC keyed
+    on the shared secret, compared in constant time before unpickling."""
+
+    def test_round_trip_under_a_shared_secret(self, monkeypatch):
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "fleet-secret")
+        _, result = _compiled_result()
+        frame = encode_result(result, "w0.0")
+        assert "hmac" in frame
+        decoded = decode_result(frame)
+        assert decoded.payload_digest == result.payload_digest
+
+    def test_unauthenticated_blob_is_rejected_when_secret_set(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv(FABRIC_SECRET_ENV, raising=False)
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")  # packed with no secret
+        assert "hmac" not in frame
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "fleet-secret")
+        with pytest.raises(AuthenticationError):
+            decode_task(frame)
+
+    def test_wrong_secret_is_rejected(self, monkeypatch):
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "secret-a")
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "secret-b")
+        with pytest.raises(AuthenticationError):
+            decode_task(frame)
+
+    def test_resealed_sha_does_not_forge_authenticity(self, monkeypatch):
+        """An attacker can recompute the sha256 over a tampered blob —
+        but not the HMAC, so the tamper is still caught."""
+        import base64
+        import hashlib
+        import pickle
+
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "fleet-secret")
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")
+        evil = pickle.dumps(
+            FunctionTask(
+                source_text="module stolen end",
+                filename="x.w2",
+                section_name="s",
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        frame["blob"] = base64.b64encode(evil).decode("ascii")
+        frame["sha256"] = hashlib.sha256(evil).hexdigest()
+        with pytest.raises(AuthenticationError):
+            decode_task(frame)
+
+    def test_no_secret_keeps_the_open_protocol(self, monkeypatch):
+        monkeypatch.delenv(FABRIC_SECRET_ENV, raising=False)
+        task, _ = _compiled_result()
+        frame = encode_task(task, "w0.0")
+        assert "hmac" not in frame
+        assert decode_task(frame).source_text == task.source_text

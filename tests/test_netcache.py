@@ -241,3 +241,60 @@ class TestTieredCache:
             assert result_payload_digest(fetched) == result.payload_digest
         finally:
             tiered.close()
+
+
+class TestHostileEntries:
+    """Cache trouble must never fail a compile — including entries that
+    unpickle cleanly but are internally mangled, and (with a shared
+    secret) entries from peers that don't hold it."""
+
+    def test_entry_with_mangled_internals_degrades_to_miss(self, client):
+        fp, result = _artifact()
+        result.obj = None  # payload-digest derivation would raise on this
+        assert result.payload_digest is not None
+        assert client.put(fp, result)
+        assert client.get(fp) is None  # degraded to a recompile, no error
+        assert client.corrupt_responses == 1
+        # The tier stays usable afterwards.
+        _, good = _artifact()
+        assert client.put("a" * 64, good)
+        assert client.get("a" * 64) is not None
+
+    def test_shared_secret_round_trips(self, tmp_path, monkeypatch):
+        from repro.fabric.wire import FABRIC_SECRET_ENV
+
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "cache-secret")
+        with CacheServiceServer(tmp_path / "srv") as server:
+            client = NetworkCacheClient(server.address)
+            fp, result = _artifact()
+            assert client.put(fp, result)
+            fetched = client.get(fp)
+            assert fetched is not None
+            assert fetched.payload_digest == result.payload_digest
+            client.close()
+
+    def test_unauthenticated_put_is_refused_when_secret_set(
+        self, tmp_path, monkeypatch
+    ):
+        import base64
+        import hashlib
+
+        from repro.fabric.wire import FABRIC_SECRET_ENV
+
+        fp, result = _artifact()
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "op": "cache-put",
+            "key": fp,
+            "blob": base64.b64encode(blob).decode("ascii"),
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            # no hmac: a writer without the secret
+        }
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "cache-secret")
+        with CacheServiceServer(tmp_path / "srv") as server:
+            client = NetworkCacheClient(server.address)
+            reply = client._request(payload)
+            assert reply is not None and not reply.get("ok")
+            assert reply.get("reason") == "unauthenticated"
+            assert server.store.entry_count() == 0
+            client.close()
