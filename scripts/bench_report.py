@@ -172,6 +172,34 @@ def render_fabric(doc: dict) -> list[str]:
     ]
 
 
+def render_search(doc: dict) -> list[str]:
+    """Variant-search point: cycle wins + warm-sweep advantage."""
+    rows = [
+        ("workload", doc.get("workload", "?")),
+        ("config space", ", ".join(doc.get("space", []))),
+        (
+            "strict wins",
+            f"{doc.get('search_wins', '?')}/{doc.get('search_seeds', '?')} "
+            f"seeds",
+        ),
+        (
+            "cycles saved",
+            f"{doc.get('baseline_cycles_total', 0) - doc.get('searched_cycles_total', 0)} "
+            f"({doc.get('cycles_saved_pct', 0.0):.1f}%)",
+        ),
+        ("cold sweep", _fmt_s(doc.get("cold_sweep_wall_s", 0.0))),
+        (
+            "warm sweep",
+            _fmt_s(doc.get("warm_sweep_wall_s", 0.0))
+            + f" ({doc.get('warm_advantage', 0.0):.2f}x, "
+            f"{doc.get('warm_variants_simulated', '?')} re-sims)",
+        ),
+    ]
+    return ["| metric | value |", "|---|---|"] + [
+        f"| {k} | {v} |" for k, v in rows
+    ]
+
+
 def render_one(doc: dict) -> list[str]:
     if "benchmarks" in doc and "machine_info" in doc:
         return render_pyperf(doc)
@@ -179,6 +207,8 @@ def render_one(doc: dict) -> list[str]:
         return render_scaling(doc)
     if "node_kill_completed" in doc:
         return render_fabric(doc)
+    if "search_wins" in doc:
+        return render_search(doc)
     if "warm_cache_median_s" in doc:
         return render_paired(doc)
     if "overhead_ratio" in doc:

@@ -21,6 +21,11 @@ A third tier (:mod:`repro.cache.link_store`) does the same for phase
 digests of their object functions, plus whole download modules keyed
 by the module fingerprint, so editing one function re-*links* exactly
 one section and a fully-warm recompile skips phase 4 entirely.
+
+A fourth tier (:mod:`repro.cache.variant_store`) memoizes the variant
+search's simulated scores: per-(function, config, input set) cycle
+counts and outputs, salted with the warpsim scoring schema so a timing
+model change invalidates scores instead of flipping winners.
 """
 
 from .fingerprint import (
@@ -47,6 +52,12 @@ from .parse_store import (
     window_key,
 )
 from .store import ArtifactCache, CacheStats, default_cache_dir
+from .variant_store import (
+    VariantScore,
+    VariantStore,
+    variant_key,
+    variant_salt,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -59,6 +70,8 @@ __all__ = [
     "ParseCache",
     "ParseEntry",
     "SectionLinkStore",
+    "VariantScore",
+    "VariantStore",
     "compiler_salt",
     "default_cache_dir",
     "function_fingerprint",
@@ -67,6 +80,8 @@ __all__ = [
     "module_link_key",
     "parse_salt",
     "section_link_key",
+    "variant_key",
+    "variant_salt",
     "signature_table_hash",
     "window_key",
 ]

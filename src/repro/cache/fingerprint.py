@@ -32,7 +32,10 @@ from ..lang import ast_nodes as ast
 #: changes; old entries become unreachable rather than wrong.
 #: 2: FunctionTaskResult grew the pre-assembled payload (distributed
 #: assembly) — entries pickled under schema 1 would revive without it.
-CACHE_SCHEMA_VERSION = 2
+#: 3: fingerprints grew the variant-search codegen knobs (unroll budget,
+#: modulo-scheduling II budget) — a variant artifact must never be
+#: served where a default compile is expected, and vice versa.
+CACHE_SCHEMA_VERSION = 3
 
 _SEP = b"\x1f"  # field separator: cannot appear in the encoded text
 
@@ -151,12 +154,22 @@ def function_fingerprint(
     cell_count: int,
     granularity: str = "function",
     salt: Optional[str] = None,
+    unroll_budget: int = 0,
+    ii_budget: int = 0,
 ) -> str:
-    """Content fingerprint for one function's phase-2/3 artifact."""
+    """Content fingerprint for one function's phase-2/3 artifact.
+
+    ``unroll_budget``/``ii_budget`` are the variant-search codegen knobs
+    (:mod:`repro.search.space`); the defaults (0, 0) are the standard
+    pipeline, so ordinary compiles and variant compiles can never serve
+    each other's artifacts.
+    """
     h = _Hasher()
     h.feed(
         salt if salt is not None else compiler_salt(),
         opt_level,
+        unroll_budget,
+        ii_budget,
         cell_count,
         granularity,
         section.name,
@@ -180,6 +193,8 @@ def module_fingerprints(
     cell_count: int,
     granularity: str = "function",
     salt: Optional[str] = None,
+    unroll_budget: int = 0,
+    ii_budget: int = 0,
 ) -> Dict[Tuple[str, str], str]:
     """``(section name, function name) -> fingerprint`` for a module."""
     fingerprints: Dict[Tuple[str, str], str] = {}
@@ -192,5 +207,7 @@ def module_fingerprints(
                 cell_count=cell_count,
                 granularity=granularity,
                 salt=salt,
+                unroll_budget=unroll_budget,
+                ii_budget=ii_budget,
             )
     return fingerprints

@@ -10,6 +10,10 @@ Subcommands:
 - ``warpcc bench SIZE N``: the paper's S_n experiment for one point —
   compile, replay both compilers on the simulated workstation network,
   print speedup and overhead decomposition.
+- ``warpcc search FILE``: optimization-variant search — compile the
+  module under every config in the variant space, score each function's
+  variants by simulated cycle count in warpsim, ship the verified
+  per-function winners (also reachable as ``warpcc compile --search``).
 - ``warpcc serve``: run the multi-tenant compile service (one shared
   warm pool + artifact cache, fair-share scheduling across tenants).
 - ``warpcc submit FILE`` / ``warpcc status``: client side of the
@@ -34,6 +38,39 @@ from .parallel.schedule import one_function_per_processor
 from .warpsim.array_runner import run_module
 from .workloads.sizes import SIZE_CLASSES
 from .workloads.synthetic import synthetic_program
+
+
+def _add_search_tuning_arguments(parser) -> None:
+    """The variant-search knobs, shared by ``warpcc search`` and
+    ``warpcc compile --search``."""
+    parser.add_argument(
+        "--space", default=None, metavar="KEY,KEY,...",
+        help="variant space as comma-separated config keys, e.g. "
+        "'o2u0i0,o2u64i0,o2u0i1' (default: the stock lattice; the "
+        "reference config o2u0i0 is always included first)",
+    )
+    parser.add_argument(
+        "--inputs", action="append", default=None, metavar="V,V,...",
+        help="one recorded scoring input set (comma-separated floats); "
+        "repeat for several sets.  Default: seeded synthetic inputs",
+    )
+    parser.add_argument(
+        "--input-seed", type=int, default=0,
+        help="seed for the synthetic scoring inputs (default 0)",
+    )
+    parser.add_argument(
+        "--input-sets", type=int, default=2, dest="input_set_count",
+        help="how many synthetic input sets to score on (default 2)",
+    )
+    parser.add_argument(
+        "--input-width", type=int, default=4,
+        help="values per synthetic input set (default 4)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=2_000_000,
+        help="per-run simulation ceiling; a variant that exceeds it is "
+        "disqualified (default 2000000)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -147,6 +184,46 @@ def _build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "-o", "--output", default=None,
         help="output path for --emit binary (default: <module>.warp)",
+    )
+    compile_cmd.add_argument(
+        "--search", action="store_true",
+        help="run the optimization-variant search instead of a single "
+        "compile (see 'warpcc search'); honors --cells, --jobs, "
+        "--cache-dir/--no-cache, --json, --emit report|digest, and "
+        "the search tuning flags below",
+    )
+    _add_search_tuning_arguments(compile_cmd)
+
+    search_cmd = sub.add_parser(
+        "search",
+        help="variant search: compile k configs per function, let "
+        "warpsim pick the fastest semantically-identical winner",
+    )
+    search_cmd.add_argument("file", help="source file (or '-' for stdin)")
+    search_cmd.add_argument("--cells", type=int, default=10)
+    search_cmd.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the per-config compiles "
+        "(default: in-process serial)",
+    )
+    search_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory for the artifact and variant-score tiers "
+        "(default: $WARPCC_CACHE_DIR or ~/.cache/warpcc)",
+    )
+    search_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable both the artifact cache and the variant-score "
+        "store (every variant is compiled and re-simulated)",
+    )
+    _add_search_tuning_arguments(search_cmd)
+    search_cmd.add_argument(
+        "--emit", choices=("report", "digest"), default="report"
+    )
+    search_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the search report as one JSON document (winners, "
+        "cycle counts, verification status, per-function metrics)",
     )
 
     run_cmd = sub.add_parser("run", help="compile and simulate a module")
@@ -534,6 +611,11 @@ def _link_cache_stats_line(link_cache) -> str:
 
 
 def _cmd_compile(args) -> int:
+    if getattr(args, "search", False):
+        # `warpcc compile --search` is the search subcommand with the
+        # compile parser's shared flags; both parsers carry the search
+        # tuning knobs via _add_search_tuning_arguments.
+        return _cmd_search(args)
     source = _read_source(args.file)
     array = WarpArrayModel(cell_count=args.cells)
     if args.supervised or args.chaos is not None:
@@ -690,6 +772,127 @@ def _cmd_compile(args) -> int:
         # the module is partial, signal it without hiding the rest.
         return 1
     return 0
+
+
+def _variant_store_stats_line(variant_store) -> str:
+    stats = variant_store.stats
+    return (
+        f"variant store: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{variant_store.size_bytes()} bytes on disk"
+    )
+
+
+def _cmd_search(args) -> int:
+    import json
+
+    from .search import VariantSpace, default_space, search_module
+    from .warpsim.scoring import seeded_input_sets
+
+    source = _read_source(args.file)
+    array = WarpArrayModel(cell_count=args.cells)
+    try:
+        space = (
+            VariantSpace.parse(args.space)
+            if args.space
+            else default_space()
+        )
+    except ValueError as error:
+        print(f"warpcc: {error}", file=sys.stderr)
+        return 2
+    if args.inputs:
+        input_sets = [_parse_inputs(text) for text in args.inputs]
+    else:
+        input_sets = seeded_input_sets(
+            args.input_seed, width=args.input_width,
+            sets=args.input_set_count,
+        )
+
+    cache = None
+    variant_store = None
+    if not args.no_cache:
+        from .cache import ArtifactCache, VariantStore
+
+        cache = ArtifactCache(args.cache_dir)
+        variant_store = VariantStore(args.cache_dir)
+
+    backend = (
+        ProcessPoolBackend(args.jobs)
+        if args.jobs is not None and args.jobs > 1
+        else SerialBackend()
+    )
+    try:
+        outcome = search_module(
+            source,
+            filename=args.file,
+            space=space,
+            input_sets=input_sets,
+            array=array,
+            backend=backend,
+            cache=cache,
+            variant_store=variant_store,
+            max_cycles=args.max_cycles,
+        )
+    except CompileError as error:
+        if args.json:
+            print(json.dumps({
+                "ok": False,
+                "diagnostics": [
+                    diagnostic.render() for diagnostic in error.diagnostics
+                ],
+            }, indent=2))
+        else:
+            for diagnostic in error.diagnostics:
+                print(diagnostic.render(), file=sys.stderr)
+        return 1
+    finally:
+        shutdown = getattr(backend, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+    result = outcome.result
+    if args.json:
+        document = result.to_dict()
+        document["ok"] = not result.profile.failed_functions()
+        document["search"] = {
+            "verified": outcome.verified,
+            "abstained": outcome.abstained,
+            "space": outcome.space_keys,
+            "input_digest": outcome.input_digest,
+            "baseline_cycles": outcome.baseline_cycles,
+            "module_cycles": outcome.module_cycles,
+            "cycles_saved": outcome.cycles_saved,
+            "winners": {
+                f"{section}.{name}": key
+                for (section, name), key in sorted(outcome.winners.items())
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if result.profile.failed_functions() else 0
+
+    if result.diagnostics_text:
+        print(result.diagnostics_text, file=sys.stderr)
+    if args.emit == "digest":
+        print(result.digest)
+    else:
+        for line in result.report_lines():
+            print(line)
+        if outcome.abstained:
+            print(
+                "search abstained (baseline failed to simulate: "
+                f"{outcome.abstained}); shipping the standard compile"
+            )
+        elif not outcome.verified:
+            print(
+                "search winners failed whole-module verification; "
+                "shipping the baseline"
+            )
+        print(f"download module: {result.download.cells_used} cell(s), "
+              f"{result.profile.download_words} words")
+        if cache is not None:
+            print(_cache_stats_line(cache))
+        if variant_store is not None:
+            print(_variant_store_stats_line(variant_store))
+    return 1 if result.profile.failed_functions() else 0
 
 
 def _parse_inputs(text: str) -> List[float]:
@@ -1225,6 +1428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "search":
+        return _cmd_search(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "disasm":

@@ -28,6 +28,7 @@ from ..machine.resources import FUClass, PhysReg
 from ..machine.warp_cell import WarpCellModel
 from ..opt.dependence import build_dependence_graph, find_induction_register
 from ..opt.pass_manager import PassManager
+from ..opt.unroll import unroll_constant_loops
 from .modulo import (
     PipelineFailure,
     PipelinedLoop,
@@ -48,9 +49,25 @@ def compile_function(
     function: FunctionIR,
     cell: WarpCellModel,
     opt_level: int = 2,
+    unroll_budget: int = 0,
+    ii_budget: int = 0,
 ) -> ObjectFunction:
-    """Optimize, allocate, pipeline, and schedule one function."""
+    """Optimize, allocate, pipeline, and schedule one function.
+
+    ``unroll_budget``/``ii_budget`` are the variant-search knobs: a
+    positive unroll budget fully unrolls constant-trip loops up to that
+    trip count before the optimization pipeline, and a positive II
+    budget caps the modulo scheduler's initiation-interval search (an II
+    budget of 1 disables pipelining outright, since the feasible floor
+    is 2).  Both default to 0 — the standard pipeline, bit-identical to
+    what every compile before the search layer produced.
+    """
     info = CodegenInfo()
+
+    if unroll_budget > 0:
+        # Before the pass pipeline: the unroller matches the exact CFG
+        # shape lowering emits, which the optimizer may rewrite.
+        unroll_constant_loops(function, max_trip=unroll_budget)
 
     pass_manager = PassManager(opt_level=opt_level)
     pass_stats = pass_manager.run(function)
@@ -65,7 +82,9 @@ def compile_function(
 
     pipelined: Dict[str, PipelinedLoop] = {}
     if opt_level >= 2:
-        pipelined = _pipeline_loops(function, selected, allocation, cell, info)
+        pipelined = _pipeline_loops(
+            function, selected, allocation, cell, info, ii_budget
+        )
 
     blocks = _schedule_and_splice(function, selected, pipelined, info)
 
@@ -103,6 +122,7 @@ def _pipeline_loops(
     allocation,
     cell: WarpCellModel,
     info: CodegenInfo,
+    ii_budget: int = 0,
 ) -> Dict[str, PipelinedLoop]:
     """Try to pipeline each eligible loop; returns {header label: loop}."""
     by_label = {block.label: block for block in selected}
@@ -111,7 +131,9 @@ def _pipeline_loops(
     for loop in nest.innermost_loops():
         if not is_pipelinable(function, loop):
             continue
-        result = _pipeline_one(function, loop, by_label, allocation, cell, info)
+        result = _pipeline_one(
+            function, loop, by_label, allocation, cell, info, ii_budget
+        )
         if result is not None:
             results[loop.header] = result
     return results
@@ -124,6 +146,7 @@ def _pipeline_one(
     allocation,
     cell: WarpCellModel,
     info: CodegenInfo,
+    ii_budget: int = 0,
 ) -> Optional[PipelinedLoop]:
     header_ir = function.block_named(loop.header)
     # The pipelined path bypasses the header entirely, so the header must
@@ -158,6 +181,12 @@ def _pipeline_one(
     baseline = schedule_block(body_block)
     info.work_units += baseline.work_units
     max_ii = baseline.block.cycle_count - 1
+    if ii_budget > 0:
+        # Variant-search knob: cap the II search.  A budget below the
+        # feasible floor (2) leaves the loop list-scheduled — sometimes
+        # the measured win for short-trip loops, where prologue/epilogue
+        # overhead outweighs the steady-state gain.
+        max_ii = min(max_ii, ii_budget)
 
     labels = _pipeline_labels(loop.header, header_ir)
     induction = (allocation.reg_for(var_vreg), bound_operand, step)

@@ -58,6 +58,12 @@ class FunctionTask:
     #: pre-compilation cost estimate (§4.3 lines + loop nesting), filled
     #: in by the master from the parse; drives size-aware batching.
     cost_hint: float = 1.0
+    #: variant-search codegen knobs (both 0 = the standard pipeline):
+    #: full-unroll budget for constant-trip loops, and a cap on the
+    #: modulo scheduler's initiation-interval search (1 disables
+    #: pipelining).  Part of the cache fingerprint.
+    unroll_budget: int = 0
+    ii_budget: int = 0
 
 
 @dataclass
@@ -250,6 +256,8 @@ def run_function_master(task: FunctionTask) -> FunctionTaskResult:
         task.function_name,
         array,
         task.opt_level,
+        unroll_budget=getattr(task, "unroll_budget", 0),
+        ii_budget=getattr(task, "ii_budget", 0),
     )
     _record_cache_outcome(report, hit)
     result = FunctionTaskResult(
@@ -282,7 +290,13 @@ def run_compile_task(task: FunctionTask) -> List[FunctionTaskResult]:
     results: List[FunctionTaskResult] = []
     for position, function in enumerate(section.functions):
         obj, report = compile_one_function(
-            parsed, task.section_name, function.name, array, task.opt_level
+            parsed,
+            task.section_name,
+            function.name,
+            array,
+            task.opt_level,
+            unroll_budget=getattr(task, "unroll_budget", 0),
+            ii_budget=getattr(task, "ii_budget", 0),
         )
         if position == 0:
             _record_cache_outcome(report, hit)

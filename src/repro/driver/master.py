@@ -72,6 +72,8 @@ class ParallelCompiler:
         parse_cache=None,
         phase4_jobs: Optional[int] = None,
         link_cache=None,
+        unroll_budget: int = 0,
+        ii_budget: int = 0,
     ):
         if granularity not in ("function", "section"):
             raise ValueError(
@@ -118,6 +120,10 @@ class ParallelCompiler:
         #: :class:`~repro.driver.phases.Phase4Stats` of the most recent
         #: :meth:`compile` (None when the sequential tail ran).
         self.last_phase4_stats: Optional[Phase4Stats] = None
+        #: variant-search codegen knobs, threaded into every task and
+        #: into the cache fingerprints (both 0 = the standard pipeline).
+        self.unroll_budget = unroll_budget
+        self.ii_budget = ii_budget
 
     def close(self) -> None:
         """Release owned resources.  A borrowed backend is untouched;
@@ -351,6 +357,8 @@ class ParallelCompiler:
             cell_count=self.array.cell_count,
             granularity=self.granularity,
             salt=compiler_salt(),
+            unroll_budget=self.unroll_budget,
+            ii_budget=self.ii_budget,
         )
         rendered = [d.render() for d in parsed.sink.diagnostics]
         misses: List[FunctionTask] = []
@@ -439,6 +447,8 @@ class ParallelCompiler:
                         cost_hint=sum(
                             ast_cost_hint(fn) for fn in section.functions
                         ),
+                        unroll_budget=self.unroll_budget,
+                        ii_budget=self.ii_budget,
                     )
                 )
                 continue
@@ -452,6 +462,8 @@ class ParallelCompiler:
                         opt_level=self.opt_level,
                         cell_count=self.array.cell_count,
                         cost_hint=ast_cost_hint(function),
+                        unroll_budget=self.unroll_budget,
+                        ii_budget=self.ii_budget,
                     )
                 )
         return tasks

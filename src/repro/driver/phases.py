@@ -534,8 +534,15 @@ def compile_one_function(
     function_name: str,
     array: WarpArrayModel,
     opt_level: int = 2,
+    unroll_budget: int = 0,
+    ii_budget: int = 0,
 ) -> Tuple[ObjectFunction, FunctionReport]:
-    """Phases 2+3 for exactly one function (a function master's job)."""
+    """Phases 2+3 for exactly one function (a function master's job).
+
+    ``unroll_budget``/``ii_budget`` are the variant-search codegen knobs
+    (see :func:`repro.codegen.compiler.compile_function`); the defaults
+    are the standard pipeline.
+    """
     section = parsed.module.section_named(section_name)
     if section is None:
         raise KeyError(f"no section named {section_name!r}")
@@ -547,7 +554,13 @@ def compile_one_function(
     fn_ir = lower_function(section, function, parsed.sema)
     ir_size = fn_ir.instruction_count()
     weight = loop_nest_weight(fn_ir)
-    obj = compile_function(fn_ir, array.cell, opt_level=opt_level)
+    obj = compile_function(
+        fn_ir,
+        array.cell,
+        opt_level=opt_level,
+        unroll_budget=unroll_budget,
+        ii_budget=ii_budget,
+    )
     report = FunctionReport(
         section_name=section_name,
         name=function_name,

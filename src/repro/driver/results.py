@@ -30,6 +30,11 @@ class FunctionReport:
     pipelined_loops: int
     initiation_intervals: List[int] = field(default_factory=list)
     frame_words: int = 0
+    #: variant search: the winning config's key (None outside search
+    #: mode) and the simulated cycle count of the module with this
+    #: function's winner swapped in (None when never simulated).
+    winner_config: Optional[str] = None
+    simulated_cycles: Optional[int] = None
     #: phase-1 cache telemetry: whether this report's task found its
     #: module already parsed in the worker's cache (0/1 each; a
     #: section-level task records on its first function's report only).
@@ -65,6 +70,8 @@ class FunctionReport:
             "pipelined_loops": self.pipelined_loops,
             "initiation_intervals": list(self.initiation_intervals),
             "frame_words": self.frame_words,
+            "winner_config": self.winner_config,
+            "simulated_cycles": self.simulated_cycles,
             "phase1_cache_hits": self.phase1_cache_hits,
             "phase1_cache_misses": self.phase1_cache_misses,
             "artifact_cache_hits": self.artifact_cache_hits,
@@ -129,6 +136,20 @@ class WorkProfile:
     supervisor_poisoned_tasks: int = 0
     supervisor_degradations: int = 0
     supervisor_corrupt_payloads: int = 0
+    #: variant-search counters (all zero / empty outside ``warpcc
+    #: search``).  ``search_wins`` maps a config key ("o2u64i0") to how
+    #: many functions it won; cycle counts are whole-module simulated
+    #: cycles over the search's input set.
+    searched: bool = False
+    search_space: List[str] = field(default_factory=list)
+    search_variants_simulated: int = 0
+    search_variants_cached: int = 0
+    search_variants_identical: int = 0
+    search_variants_disqualified: int = 0
+    search_wins: Dict[str, int] = field(default_factory=dict)
+    search_baseline_cycles: int = 0
+    search_module_cycles: int = 0
+    search_cycles_saved: int = 0
 
     def function_work(self) -> int:
         return sum(f.work_units for f in self.functions)
@@ -216,6 +237,16 @@ class WorkProfile:
             "supervisor_poisoned_tasks": self.supervisor_poisoned_tasks,
             "supervisor_degradations": self.supervisor_degradations,
             "supervisor_corrupt_payloads": self.supervisor_corrupt_payloads,
+            "searched": self.searched,
+            "search_space": list(self.search_space),
+            "search_variants_simulated": self.search_variants_simulated,
+            "search_variants_cached": self.search_variants_cached,
+            "search_variants_identical": self.search_variants_identical,
+            "search_variants_disqualified": self.search_variants_disqualified,
+            "search_wins": dict(self.search_wins),
+            "search_baseline_cycles": self.search_baseline_cycles,
+            "search_module_cycles": self.search_module_cycles,
+            "search_cycles_saved": self.search_cycles_saved,
             "functions": [f.to_dict() for f in self.functions],
         }
 
@@ -241,6 +272,14 @@ class CompilationResult:
             ii_text = (
                 f" II={fn.initiation_intervals}" if fn.initiation_intervals else ""
             )
+            cycles_text = (
+                f" ~{fn.simulated_cycles} cycles"
+                if fn.simulated_cycles is not None
+                else ""
+            )
+            winner_text = (
+                f" [{fn.winner_config}]" if fn.winner_config else ""
+            )
             mark = ""
             if fn.failed:
                 mark = " [POISONED: no object code]"
@@ -249,7 +288,24 @@ class CompilationResult:
             lines.append(
                 f"  {fn.section_name}.{fn.name}: {fn.source_lines} lines, "
                 f"{fn.work_units} work units, {fn.bundles} bundles, "
-                f"{fn.pipelined_loops} pipelined loop(s){ii_text}{mark}"
+                f"{fn.pipelined_loops} pipelined loop(s)"
+                f"{ii_text}{cycles_text}{winner_text}{mark}"
+            )
+        if self.profile.searched:
+            wins = ", ".join(
+                f"{key} x{count}"
+                for key, count in sorted(self.profile.search_wins.items())
+            )
+            lines.append(
+                f"search: {len(self.profile.search_space)} config(s), "
+                f"baseline {self.profile.search_baseline_cycles} cycles -> "
+                f"{self.profile.search_module_cycles} cycles "
+                f"(saved {self.profile.search_cycles_saved}); "
+                f"{self.profile.search_variants_simulated} simulated, "
+                f"{self.profile.search_variants_cached} cached, "
+                f"{self.profile.search_variants_identical} identical, "
+                f"{self.profile.search_variants_disqualified} disqualified"
+                + (f"; wins: {wins}" if wins else "")
             )
         if self.profile.supervised:
             lines.append(

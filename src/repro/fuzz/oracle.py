@@ -29,6 +29,11 @@ Pipeline variants (the matrix):
                           cold then warm
 ``supervised``            deadline/hedge/quarantine supervision, no faults
 ``chaos``                 supervision over seeded crash/hang/corrupt faults
+``search``                optimization-variant search: cold + warm runs must
+                          agree, the winner module must be reproducible by
+                          direct compilation at the winning configs, and the
+                          shipped module must match the baseline's simulated
+                          outputs at no more cycles
 ========================  ==================================================
 
 The ``cache`` variant additionally asserts version isolation: after the
@@ -76,12 +81,18 @@ ALL_PIPELINES: Tuple[str, ...] = (
     "phase4",
     "supervised",
     "chaos",
+    "search",
 )
 
 #: The in-process subset — safe anywhere: no worker processes spawned,
 #: no sockets opened (``fabric`` runs loopback TCP; ``warm-pool`` forks).
+#: ``search`` is also excluded: it compiles the module once per variant
+#: config plus one simulation per candidate — the dedicated CI search
+#: job and ``--pipelines all`` cover it.
 DEFAULT_PIPELINES: Tuple[str, ...] = tuple(
-    name for name in ALL_PIPELINES if name not in ("warm-pool", "fabric")
+    name
+    for name in ALL_PIPELINES
+    if name not in ("warm-pool", "fabric", "search")
 )
 
 MISMATCH_KINDS = ("digest", "diagnostic", "semantic", "crash")
@@ -306,6 +317,8 @@ class DifferentialOracle:
             ).compile(source)
         if name == "cache":
             return self._compile_cache_variant(source, **kwargs)
+        if name == "search":
+            return self._compile_search_variant(source, seed, **kwargs)
         if name == "phase1":
             return self._compile_phase1_variant(source, **kwargs)
         if name == "phase4":
@@ -365,6 +378,112 @@ class DifferentialOracle:
                 )
             self._assert_salt_isolation(source, cache, array, opt_level)
             return warm
+
+    def _compile_search_variant(self, source: str, seed: int, *, array, opt_level):
+        """The variant-search leg, checked four ways:
+
+        1. **determinism** — a cold search and a warm search (shared
+           variant store) must pick the same winners and the same
+           module digest, and the warm run must serve cached scores
+           whenever the cold run simulated anything;
+        2. **reproducibility** — recompiling every function directly at
+           its winning config and relinking must reproduce the search's
+           module bit-for-bit (the winner is a real compile, not an
+           artifact of the search machinery);
+        3. **semantics** — the shipped module, simulated on the scoring
+           inputs, must produce exactly the baseline's outputs;
+        4. **speed** — at no more simulated cycles than the baseline.
+
+        Returns the reference-config compile so the caller's generic
+        digest check still pins search's baseline == sequential.
+        """
+        from ..asmlink.download import module_digest
+        from ..cache.variant_store import VariantStore
+        from ..driver.function_master import phase1_cached
+        from ..driver.phases import (
+            compile_one_function,
+            phase4_link_and_download,
+        )
+        from ..search import VariantConfig, search_module
+        from ..warpsim.scoring import score_module, seeded_input_sets
+
+        input_sets = seeded_input_sets(seed & 0xFFFF)
+        with tempfile.TemporaryDirectory(prefix="warpcc-fuzz-search-") as tmp:
+            store = VariantStore(tmp)
+            common = dict(
+                input_sets=input_sets,
+                array=array,
+                variant_store=store,
+                max_cycles=self.config.max_cycles,
+            )
+            cold = search_module(source, **common)
+            warm = search_module(source, **common)
+        if cold.result.digest != warm.result.digest:
+            raise OracleInvariantError(
+                "warm search digest diverged from cold search"
+            )
+        if cold.winners != warm.winners:
+            raise OracleInvariantError(
+                f"warm search winners {warm.winners} != "
+                f"cold {cold.winners}"
+            )
+        if cold.simulated and not warm.cached:
+            raise OracleInvariantError(
+                "warm search served no cached variant scores"
+            )
+
+        outcome = warm
+        if outcome.abstained is None:
+            parsed, _ = phase1_cached(source)
+            reference_key = outcome.space_keys[0]
+            rebuilt_objects = {}
+            for section in parsed.module.sections:
+                objs = []
+                for fn in section.functions:
+                    key = outcome.winners.get(
+                        (section.name, fn.name), reference_key
+                    )
+                    config = VariantConfig.from_key(key)
+                    obj, _ = compile_one_function(
+                        parsed,
+                        section.name,
+                        fn.name,
+                        array,
+                        config.opt_level,
+                        unroll_budget=config.unroll_budget,
+                        ii_budget=config.ii_budget,
+                    )
+                    objs.append(obj)
+                rebuilt_objects[section.name] = objs
+            rebuilt, _, _ = phase4_link_and_download(
+                parsed, rebuilt_objects, array,
+                outcome.result.diagnostics_text,
+            )
+            if module_digest(rebuilt) != outcome.result.digest:
+                raise OracleInvariantError(
+                    "search module is not reproducible by direct "
+                    "compilation at the winning configs"
+                )
+            base_score = score_module(
+                outcome.baseline.download, input_sets, array,
+                self.config.max_cycles,
+            )
+            if base_score.ok:
+                shipped = score_module(
+                    outcome.result.download, input_sets, array,
+                    self.config.max_cycles,
+                )
+                if not shipped.ok or shipped.outputs != base_score.outputs:
+                    raise OracleInvariantError(
+                        "search shipped a module that diverges "
+                        "semantically from the reference-config baseline"
+                    )
+                if shipped.cycles > base_score.cycles:
+                    raise OracleInvariantError(
+                        f"search shipped a slower module "
+                        f"({shipped.cycles} > {base_score.cycles} cycles)"
+                    )
+        return outcome.baseline
 
     def _compile_phase1_variant(self, source: str, *, array, opt_level):
         """Parse-cache-cold compile, then a warm recompile of the same

@@ -1,0 +1,25 @@
+"""Optimization-variant search: compile k configs, let warpsim judge.
+
+See :mod:`repro.search.searcher` for the engine and
+:mod:`repro.search.space` for the config lattice.
+"""
+
+from .searcher import CompilerFactory, SearchOutcome, search_module
+from .space import (
+    REFERENCE_CONFIG,
+    REFERENCE_KEY,
+    VariantConfig,
+    VariantSpace,
+    default_space,
+)
+
+__all__ = [
+    "CompilerFactory",
+    "REFERENCE_CONFIG",
+    "REFERENCE_KEY",
+    "SearchOutcome",
+    "VariantConfig",
+    "VariantSpace",
+    "default_space",
+    "search_module",
+]

@@ -1,0 +1,478 @@
+"""The optimization-variant search engine (``warpcc search``).
+
+The paper's machinery makes this almost free: function masters are pure
+functions of (source, config), the artifact cache memoizes them, and
+phase 4 is a pure recombination of object functions.  The search
+exploits all three —
+
+1. compile the module once per config in the variant space (each
+   compile rides the normal :class:`ParallelCompiler` surface: warm
+   pools, supervision, fabric, every cache tier — budgets are already
+   part of the artifact fingerprints, so warm searches skip straight to
+   linking);
+2. establish the **baseline**: the reference-config module, simulated
+   on the scoring inputs (if the baseline itself fails to simulate the
+   search abstains and ships it unchanged — there is no semantic
+   signature to judge variants against);
+3. for every (function, non-reference config) pair, build the *swap
+   module* — the baseline with exactly that one function replaced —
+   and score it in warpsim.  Scores are memoized in the
+   :class:`~repro.cache.variant_store.VariantStore` keyed by (function
+   fingerprint, config, input digest).  A variant whose object code is
+   bit-identical to the baseline's is skipped outright; one that
+   fails to simulate or changes the observed outputs is disqualified;
+4. pick each function's winner: minimum (cycles, config index) over
+   the baseline and every surviving variant — strictly-better-or-
+   reference, ties break toward the earlier config, so the outcome is
+   a pure function of (source, space, inputs);
+5. recombine the winners into one module and **verify** it end-to-end:
+   the winner module must reproduce the baseline outputs and take no
+   more cycles than the baseline, else the search ships the baseline.
+   This final gate is what makes cached scores safe: a stale or
+   poisoned score can waste a measurement, never ship a slower or
+   wrong module.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..asmlink.download import module_digest, module_size_words
+from ..asmlink.objformat import ObjectFunction
+from ..cache import compiler_salt, module_fingerprints, variant_key
+from ..cache.variant_store import VariantScore, VariantStore
+from ..driver.function_master import phase1_cached
+from ..driver.master import ParallelCompiler
+from ..driver.phases import ParsedProgram, phase4_link_and_download
+from ..driver.results import CompilationResult
+from ..machine.warp_array import WarpArrayModel
+from ..warpsim.scoring import (
+    DEFAULT_SCORE_MAX_CYCLES,
+    ModuleScore,
+    input_set_digest,
+    score_module,
+    seeded_input_sets,
+)
+from .space import VariantConfig, VariantSpace, default_space
+
+Number = Union[int, float]
+FnKey = Tuple[str, str]  # (section name, function name)
+
+#: Makes a compiler for one config.  The default shares the caller's
+#: backend and cache tiers across every config; tests substitute this to
+#: inject miscompiles or count compiles.
+CompilerFactory = Callable[[VariantConfig], ParallelCompiler]
+
+
+@dataclass
+class SearchOutcome:
+    """Everything ``warpcc search`` knows when it finishes."""
+
+    #: what ships: the winner module when verified, else the baseline.
+    result: CompilationResult
+    #: the reference-config compile the search measured against.
+    baseline: CompilationResult
+    #: per-function winning config key (reference key when no variant won).
+    winners: Dict[FnKey, str] = field(default_factory=dict)
+    #: (section, function, config key) per category, in search order.
+    simulated: List[Tuple[str, str, str]] = field(default_factory=list)
+    cached: List[Tuple[str, str, str]] = field(default_factory=list)
+    identical: List[Tuple[str, str, str]] = field(default_factory=list)
+    disqualified: List[Tuple[str, str, str]] = field(default_factory=list)
+    baseline_cycles: Optional[int] = None
+    module_cycles: Optional[int] = None
+    #: False when the final whole-module re-simulation rejected the
+    #: winner (or the baseline itself would not simulate) and the
+    #: baseline shipped instead.
+    verified: bool = False
+    #: why the search abstained entirely (baseline simulation failure);
+    #: None whenever variants were actually judged.
+    abstained: Optional[str] = None
+    input_digest: str = ""
+    space_keys: List[str] = field(default_factory=list)
+
+    @property
+    def cycles_saved(self) -> int:
+        if self.baseline_cycles is None or self.module_cycles is None:
+            return 0
+        return self.baseline_cycles - self.module_cycles
+
+
+def _objects_by_section(
+    result: CompilationResult,
+) -> Dict[str, List[ObjectFunction]]:
+    """Section name -> object functions, preserving source order."""
+    grouped: Dict[str, List[ObjectFunction]] = {}
+    for obj in result.objects:
+        grouped.setdefault(obj.section_name, []).append(obj)
+    return grouped
+
+
+def _swap(
+    objects: Dict[str, List[ObjectFunction]],
+    section_name: str,
+    replacement: ObjectFunction,
+) -> Dict[str, List[ObjectFunction]]:
+    """A copy of ``objects`` with one function replaced in place."""
+    swapped = dict(objects)
+    swapped[section_name] = [
+        replacement if obj.name == replacement.name else obj
+        for obj in objects[section_name]
+    ]
+    return swapped
+
+
+def _link(
+    parsed: ParsedProgram,
+    objects: Dict[str, List[ObjectFunction]],
+    array: WarpArrayModel,
+    diagnostics_text: str,
+):
+    module, _, _ = phase4_link_and_download(
+        parsed, objects, array, diagnostics_text
+    )
+    return module
+
+
+def _default_factory(
+    backend,
+    array: WarpArrayModel,
+    cache,
+    parse_cache,
+    link_cache,
+    granularity: str,
+) -> CompilerFactory:
+    def factory(config: VariantConfig) -> ParallelCompiler:
+        return ParallelCompiler(
+            backend=backend,
+            array=array,
+            opt_level=config.opt_level,
+            granularity=granularity,
+            cache=cache,
+            parse_cache=parse_cache,
+            link_cache=link_cache,
+            unroll_budget=config.unroll_budget,
+            ii_budget=config.ii_budget,
+        )
+
+    return factory
+
+
+def search_module(
+    source_text: str,
+    filename: str = "<input>",
+    space: Optional[VariantSpace] = None,
+    input_sets: Optional[Sequence[Sequence[Number]]] = None,
+    input_seed: int = 0,
+    array: Optional[WarpArrayModel] = None,
+    backend=None,
+    cache=None,
+    parse_cache=None,
+    link_cache=None,
+    variant_store: Optional[VariantStore] = None,
+    granularity: str = "function",
+    max_cycles: int = DEFAULT_SCORE_MAX_CYCLES,
+    compiler_factory: Optional[CompilerFactory] = None,
+) -> SearchOutcome:
+    """Compile ``source_text`` under every config in ``space``, score the
+    variants in warpsim, and ship the verified per-function winners.
+
+    ``input_sets`` are the recorded scoring inputs; when None, a
+    deterministic synthetic set derived from ``input_seed`` is used.
+    The shipped module's digest is a pure function of (source, space,
+    inputs): independent of backend, submission order, and cache state.
+    """
+    space = space if space is not None else default_space()
+    array = array or WarpArrayModel()
+    if input_sets is None:
+        input_sets = seeded_input_sets(input_seed)
+    input_sets = [list(s) for s in input_sets]
+    input_digest = input_set_digest(input_sets)
+    factory = compiler_factory or _default_factory(
+        backend, array, cache, parse_cache, link_cache, granularity
+    )
+
+    # One compile wave per config.  The fabric hub dedups first-result-
+    # wins per (section, function) within a wave, so variants of one
+    # function must never share a wave — whole-module waves guarantee it.
+    results: Dict[str, CompilationResult] = {}
+    for config in space:
+        compiler = factory(config)
+        try:
+            results[config.key()] = compiler.compile(source_text, filename)
+        finally:
+            compiler.close()
+    baseline = results[space.reference.key()]
+
+    parsed, _ = phase1_cached(source_text, filename)
+    baseline_objects = _objects_by_section(baseline)
+
+    outcome = SearchOutcome(
+        result=baseline,
+        baseline=baseline,
+        input_digest=input_digest,
+        space_keys=space.keys(),
+    )
+
+    baseline_score = score_module(
+        baseline.download, input_sets, array, max_cycles
+    )
+    if not baseline_score.ok:
+        # No semantic signature to judge against: abstain, ship baseline.
+        outcome.abstained = baseline_score.error
+        _annotate(outcome, space, baseline, {}, results)
+        return outcome
+    outcome.baseline_cycles = baseline_score.cycles
+
+    # Reference-config fingerprints identify the function *body*; the
+    # config under measurement is a separate key component.
+    base_fps = module_fingerprints(
+        parsed.module,
+        opt_level=space.reference.opt_level,
+        cell_count=array.cell_count,
+        granularity=granularity,
+        salt=compiler_salt(),
+    )
+
+    obj_index: Dict[str, Dict[FnKey, ObjectFunction]] = {}
+    for key, result in results.items():
+        obj_index[key] = {
+            (obj.section_name, obj.name): obj for obj in result.objects
+        }
+
+    # candidates[fn] = list of (cycles, config index, config key)
+    candidates: Dict[FnKey, List[Tuple[int, int, str]]] = {}
+    fn_keys = [
+        (obj.section_name, obj.name) for obj in baseline.objects
+    ]
+    for fn_key in fn_keys:
+        section_name, function_name = fn_key
+        base_obj = obj_index[space.reference.key()][fn_key]
+        entries: List[Tuple[int, int, str]] = [
+            (baseline_score.cycles, 0, space.reference.key())
+        ]
+        for index, config in enumerate(space):
+            if index == 0:
+                continue
+            config_key = config.key()
+            variant_obj = obj_index[config_key].get(fn_key)
+            if variant_obj is None:  # partial build at this config
+                outcome.disqualified.append((*fn_key, config_key))
+                continue
+            if variant_obj.digest_text() == base_obj.digest_text():
+                outcome.identical.append((*fn_key, config_key))
+                continue
+            score = _score_variant(
+                outcome,
+                variant_store,
+                base_fps[fn_key],
+                config_key,
+                input_digest,
+                parsed,
+                baseline_objects,
+                section_name,
+                variant_obj,
+                array,
+                baseline.diagnostics_text,
+                input_sets,
+                max_cycles,
+                fn_key,
+            )
+            if (
+                not score.ok
+                or score.outputs != baseline_score.outputs
+            ):
+                outcome.disqualified.append((*fn_key, config_key))
+                continue
+            entries.append((score.cycles, index, config_key))
+        candidates[fn_key] = entries
+
+    winners: Dict[FnKey, str] = {}
+    winner_cycles: Dict[FnKey, int] = {}
+    for fn_key, entries in candidates.items():
+        cycles, _, config_key = min(entries)
+        winners[fn_key] = config_key
+        winner_cycles[fn_key] = cycles
+    outcome.winners = winners
+
+    changed = {
+        fn_key: key
+        for fn_key, key in winners.items()
+        if key != space.reference.key()
+    }
+    if changed:
+        final_objects = dict(baseline_objects)
+        for fn_key, config_key in changed.items():
+            final_objects = _swap(
+                final_objects, fn_key[0], obj_index[config_key][fn_key]
+            )
+        final_module = _link(
+            parsed, final_objects, array, baseline.diagnostics_text
+        )
+        final_score = score_module(
+            final_module, input_sets, array, max_cycles
+        )
+        verified = (
+            final_score.ok
+            and final_score.outputs == baseline_score.outputs
+            and final_score.cycles <= baseline_score.cycles
+        )
+        if verified:
+            outcome.verified = True
+            outcome.module_cycles = final_score.cycles
+            flat = [
+                obj
+                for section in parsed.module.sections
+                for obj in final_objects[section.name]
+            ]
+            outcome.result = CompilationResult(
+                module_name=baseline.module_name,
+                download=final_module,
+                digest=module_digest(final_module),
+                diagnostics_text=baseline.diagnostics_text,
+                profile=copy.deepcopy(baseline.profile),
+                objects=flat,
+            )
+            outcome.result.profile.download_words = module_size_words(
+                final_module
+            )
+        else:
+            # Interaction between winners broke the per-swap prediction:
+            # ship the baseline, report every winner as the reference.
+            outcome.winners = {
+                fn_key: space.reference.key() for fn_key in winners
+            }
+            winner_cycles = {
+                fn_key: baseline_score.cycles for fn_key in winners
+            }
+            outcome.module_cycles = baseline_score.cycles
+            outcome.result = baseline
+    else:
+        # Every function kept the reference config; the baseline module
+        # *is* the winner module, already simulated and trivially valid.
+        outcome.verified = True
+        outcome.module_cycles = baseline_score.cycles
+
+    _annotate(
+        outcome, space, baseline, winner_cycles, results
+    )
+    return outcome
+
+
+def _score_variant(
+    outcome: SearchOutcome,
+    variant_store: Optional[VariantStore],
+    base_fingerprint: str,
+    config_key: str,
+    input_digest: str,
+    parsed: ParsedProgram,
+    baseline_objects: Dict[str, List[ObjectFunction]],
+    section_name: str,
+    variant_obj: ObjectFunction,
+    array: WarpArrayModel,
+    diagnostics_text: str,
+    input_sets: List[List[Number]],
+    max_cycles: int,
+    fn_key: FnKey,
+) -> VariantScore:
+    """One (function, config) measurement, memoized in the store."""
+    store_key = None
+    if variant_store is not None:
+        store_key = variant_key(base_fingerprint, config_key, input_digest)
+        cached = variant_store.get(store_key)
+        if cached is not None and cached.config_key == config_key:
+            outcome.cached.append((*fn_key, config_key))
+            return cached
+    try:
+        swap_module = _link(
+            parsed,
+            _swap(baseline_objects, section_name, variant_obj),
+            array,
+            diagnostics_text,
+        )
+    except Exception as exc:  # noqa: BLE001 - a variant that won't link loses
+        score = VariantScore(
+            config_key=config_key,
+            cycles=None,
+            outputs=None,
+            error=f"link: {exc!r}",
+        )
+    else:
+        measured: ModuleScore = score_module(
+            swap_module, input_sets, array, max_cycles
+        )
+        score = VariantScore(
+            config_key=config_key,
+            cycles=measured.cycles,
+            outputs=measured.outputs,
+            error=measured.error,
+        )
+    outcome.simulated.append((*fn_key, config_key))
+    if variant_store is not None and store_key is not None:
+        try:
+            variant_store.put(store_key, score)
+        except Exception:  # noqa: BLE001 - cache write is best-effort
+            pass
+    return score
+
+
+def _annotate(
+    outcome: SearchOutcome,
+    space: VariantSpace,
+    baseline: CompilationResult,
+    winner_cycles: Dict[FnKey, int],
+    results: Dict[str, CompilationResult],
+) -> None:
+    """Fold the search's telemetry into the shipped result's profile.
+
+    Function reports for non-reference winners are taken from that
+    config's compile, so bundle counts and initiation intervals describe
+    the code that actually ships.
+    """
+    profile = outcome.result.profile
+    if profile is baseline.profile and outcome.result is baseline:
+        # Shipping the baseline: annotate a copy, not the compile's own
+        # profile object (search metadata must not leak into plain
+        # compiles that share the CompilationResult).
+        outcome.result = CompilationResult(
+            module_name=baseline.module_name,
+            download=baseline.download,
+            digest=baseline.digest,
+            diagnostics_text=baseline.diagnostics_text,
+            profile=copy.deepcopy(baseline.profile),
+            objects=list(baseline.objects),
+        )
+        profile = outcome.result.profile
+    profile.searched = True
+    profile.search_space = list(outcome.space_keys)
+    profile.search_variants_simulated = len(outcome.simulated)
+    profile.search_variants_cached = len(outcome.cached)
+    profile.search_variants_identical = len(outcome.identical)
+    profile.search_variants_disqualified = len(outcome.disqualified)
+    wins: Dict[str, int] = {}
+    for config_key in outcome.winners.values():
+        wins[config_key] = wins.get(config_key, 0) + 1
+    profile.search_wins = wins
+    profile.search_baseline_cycles = outcome.baseline_cycles or 0
+    profile.search_module_cycles = outcome.module_cycles or 0
+    profile.search_cycles_saved = outcome.cycles_saved
+
+    reference_key = space.reference.key()
+    for position, report in enumerate(list(profile.functions)):
+        fn_key = (report.section_name, report.name)
+        winner = outcome.winners.get(fn_key, reference_key)
+        if winner != reference_key:
+            donor = results[winner].profile
+            for candidate in donor.functions:
+                if candidate.key == fn_key:
+                    replacement = copy.deepcopy(candidate)
+                    profile.functions[position] = replacement
+                    report = replacement
+                    break
+        report.winner_config = winner
+        if fn_key in winner_cycles:
+            report.simulated_cycles = winner_cycles[fn_key]
+        elif outcome.baseline_cycles is not None:
+            report.simulated_cycles = outcome.baseline_cycles

@@ -4,14 +4,28 @@ from .array_runner import ArrayRunner, RunResult, run_module
 from .cell_state import CellState, CellStats, SimulationError
 from .executor import step_cell
 from .queues import CellQueue
+from .scoring import (
+    DEFAULT_SCORE_MAX_CYCLES,
+    SCORING_SCHEMA_VERSION,
+    ModuleScore,
+    input_set_digest,
+    score_module,
+    seeded_input_sets,
+)
 
 __all__ = [
     "ArrayRunner",
     "CellQueue",
     "CellState",
     "CellStats",
+    "DEFAULT_SCORE_MAX_CYCLES",
+    "ModuleScore",
     "RunResult",
+    "SCORING_SCHEMA_VERSION",
     "SimulationError",
+    "input_set_digest",
     "run_module",
+    "score_module",
+    "seeded_input_sets",
     "step_cell",
 ]

@@ -1,0 +1,127 @@
+"""The variant-search scoring seam: warpsim as a measured oracle.
+
+ComPar-style variant search needs one number per compiled variant —
+"how fast is this module on representative inputs?" — and one semantic
+check — "does it still compute the same thing?".  Both come from the
+functional simulator: :func:`score_module` runs a download module over a
+list of input sets and returns the summed cycle count plus the observed
+outputs (or a classified failure; a variant that traps is disqualified,
+never shipped).
+
+The cycle model is *pinned*: :data:`SCORING_SCHEMA_VERSION` is part of
+the variant-score cache salt, and ``tests/test_warpsim_cycles.py``
+asserts exact cycle counts for canonical programs.  A change to the
+simulator's timing semantics must bump the version (invalidating every
+cached score) and update the fixtures — it can never silently flip
+search winners.
+
+Input sets are either *recorded* (caller-supplied streams) or
+*seeded-synthetic* (:func:`seeded_input_sets`): deterministic floats
+derived from an explicit seed, so the same (source, variant space,
+input seed) always reproduces the same winners and the same output
+digest.  :func:`input_set_digest` is the canonical key component for
+cached scores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..asmlink.objformat import DownloadModule
+from ..machine.warp_array import WarpArrayModel
+from .array_runner import run_module
+
+Number = Union[int, float]
+
+#: Bump whenever the simulator's *timing* semantics change (bundle
+#: latencies, stall rules, queue capacities).  Part of the variant-score
+#: cache salt: stale scores become unreachable, not wrong.
+SCORING_SCHEMA_VERSION = 1
+
+#: Default ceiling for scoring runs — far above any benchmark kernel,
+#: low enough that a pathological variant fails fast.
+DEFAULT_SCORE_MAX_CYCLES = 2_000_000
+
+
+@dataclass(frozen=True)
+class ModuleScore:
+    """One module's measured behaviour over a list of input sets.
+
+    ``cycles`` sums the per-set cycle counts; ``outputs`` is a tuple of
+    per-set output tuples (the semantic signature two variants must
+    share to be interchangeable).  ``error`` classifies a failed run —
+    a scored variant either has (cycles, outputs) or an error, never
+    both.
+    """
+
+    cycles: Optional[int]
+    outputs: Optional[Tuple[Tuple[Number, ...], ...]]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.cycles is not None
+
+
+def score_module(
+    module: DownloadModule,
+    input_sets: Sequence[Sequence[Number]],
+    array: Optional[WarpArrayModel] = None,
+    max_cycles: int = DEFAULT_SCORE_MAX_CYCLES,
+) -> ModuleScore:
+    """Simulate ``module`` on every input set; sum cycles, keep outputs.
+
+    Any simulation failure (deadlock, trap, cycle-budget exhaustion)
+    returns an errored score — the caller treats the variant as
+    unusable rather than crashing the search.
+    """
+    total_cycles = 0
+    outputs: List[Tuple[Number, ...]] = []
+    for input_set in input_sets:
+        try:
+            outcome = run_module(
+                module, list(input_set), array=array, max_cycles=max_cycles
+            )
+        except Exception as exc:  # noqa: BLE001 - classified, not hidden
+            return ModuleScore(
+                cycles=None, outputs=None, error=repr(exc)
+            )
+        total_cycles += outcome.cycles
+        outputs.append(tuple(outcome.outputs))
+    return ModuleScore(cycles=total_cycles, outputs=tuple(outputs))
+
+
+def seeded_input_sets(
+    seed: int, width: int = 4, sets: int = 2
+) -> List[List[float]]:
+    """Deterministic synthetic input streams for scoring.
+
+    Same (seed, width, sets) -> same floats, always; the values are
+    rounded so their ``repr`` (and therefore the input-set digest) is
+    stable across platforms.
+    """
+    if width < 0 or sets < 1:
+        raise ValueError(
+            f"need sets >= 1 and width >= 0, got sets={sets} width={width}"
+        )
+    rng = random.Random(seed ^ 0x5C0_12E)
+    return [
+        [round(rng.uniform(-4.0, 4.0), 3) for _ in range(width)]
+        for _ in range(sets)
+    ]
+
+
+def input_set_digest(input_sets: Sequence[Sequence[Number]]) -> str:
+    """Canonical digest of a list of input sets (variant-score key part)."""
+    h = hashlib.sha256()
+    h.update(str(len(input_sets)).encode("utf-8"))
+    for input_set in input_sets:
+        h.update(b"\x1f")
+        h.update(str(len(input_set)).encode("utf-8"))
+        for value in input_set:
+            h.update(b"\x1e")
+            h.update(repr(value).encode("utf-8"))
+    return h.hexdigest()

@@ -241,10 +241,12 @@ class TestCampaign:
 
     def test_all_pipelines_constant_covers_matrix(self):
         # warm-pool forks processes and fabric opens loopback sockets;
-        # both stay opt-in so the default matrix is cheap and sandboxed.
+        # search compiles the module once per variant config; all three
+        # stay opt-in so the default matrix is cheap and sandboxed.
         assert set(DEFAULT_PIPELINES) == set(ALL_PIPELINES) - {
             "warm-pool",
             "fabric",
+            "search",
         }
 
 
