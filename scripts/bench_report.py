@@ -200,7 +200,43 @@ def render_search(doc: dict) -> list[str]:
     ]
 
 
+def render_predict(doc: dict) -> list[str]:
+    """Watch-mode speculation point: replayed edit-session p95s."""
+    spec = doc.get("benchmarks", {}).get("edit_session_speculated", {})
+    cold = doc.get("benchmarks", {}).get("edit_session_cold", {})
+    rows = [
+        (
+            "workload",
+            f"{spec.get('edits', '?')} replayed edits, seed "
+            f"{spec.get('seed', '?')}",
+        ),
+        (
+            "interactive p95 (speculated)",
+            _fmt_s(spec.get("interactive_p95_s", 0.0)),
+        ),
+        ("interactive p95 (cold)", _fmt_s(cold.get("interactive_p95_s", 0.0))),
+        (
+            "advantage",
+            f"{doc.get('speculation_advantage', 0.0):.2f}x "
+            f"(bar: >{1 / doc.get('advantage_bar', 0.6):.2f}x)",
+        ),
+        (
+            "cache-served submits",
+            f"{spec.get('cache_served', '?')} task(s)",
+        ),
+        (
+            "speculative jobs",
+            f"{spec.get('speculation', {}).get('launched', '?')} launched",
+        ),
+    ]
+    return ["| metric | value |", "|---|---|"] + [
+        f"| {k} | {v} |" for k, v in rows
+    ]
+
+
 def render_one(doc: dict) -> list[str]:
+    if "speculation_advantage" in doc:
+        return render_predict(doc)
     if "benchmarks" in doc and "machine_info" in doc:
         return render_pyperf(doc)
     if "critical_path_speedup" in doc:

@@ -18,6 +18,9 @@ Subcommands:
   warm pool + artifact cache, fair-share scheduling across tenants).
 - ``warpcc submit FILE`` / ``warpcc status``: client side of the
   service — submit modules, stream progress, inspect the shared pool.
+- ``warpcc watch FILE``: stream edits to a ``serve --predict`` service
+  so the changed functions are speculatively precompiled before the
+  next submit (watch mode; results land in the ordinary caches).
 """
 
 from __future__ import annotations
@@ -403,6 +406,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="network artifact-cache tier shared by every node "
         "(default: $WARPCC_CACHE_URL)",
     )
+    serve_cmd.add_argument(
+        "--predict", action="store_true",
+        help="learn per-function compile costs from observed wall-clock "
+        "(persistent observation store under --cache-dir) and use them "
+        "for fair-share ordering, LPT batch packing, and supervised "
+        "deadlines; scheduling only — results are unchanged",
+    )
+    serve_cmd.add_argument(
+        "--no-speculation", action="store_true",
+        help="with --predict: keep the learned cost model but refuse "
+        "'warpcc watch' speculative precompiles",
+    )
+    serve_cmd.add_argument(
+        "--speculation-inflight", type=int, default=2, metavar="N",
+        help="concurrent speculative watch jobs (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--speculation-headroom", type=int, default=2, metavar="N",
+        help="refuse speculation unless the admission queue has at "
+        "least this much free depth (default 2)",
+    )
 
     worker_cmd = sub.add_parser(
         "worker",
@@ -492,6 +516,40 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument(
         "--json", action="store_true",
         help="print the final job document as JSON",
+    )
+
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="stream a file's edits to the service so it precompiles "
+        "the changed functions before you submit (speculative, "
+        "batch-priority; requires 'warpcc serve --predict')",
+    )
+    watch_cmd.add_argument("file", help="source file to watch")
+    watch_cmd.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="service address (default: $WARPCC_SERVICE)",
+    )
+    watch_cmd.add_argument(
+        "--watch-key", default=None, metavar="NAME",
+        help="watch identity on the server; edits under one key "
+        "supersede each other (default: the file path)",
+    )
+    watch_cmd.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval for file changes (default 0.5)",
+    )
+    watch_cmd.add_argument(
+        "--once", action="store_true",
+        help="send the file's current contents once and exit "
+        "(scripts, CI smoke)",
+    )
+    watch_cmd.add_argument(
+        "-O", "--opt-level", type=int, default=2, choices=(0, 1, 2)
+    )
+    watch_cmd.add_argument("--cells", type=int, default=10)
+    watch_cmd.add_argument(
+        "--json", action="store_true",
+        help="print each update's outcome document as JSON",
     )
 
     status_cmd = sub.add_parser(
@@ -1173,6 +1231,13 @@ def _cmd_serve(args) -> int:
                 args.hedge_after if args.hedge_after > 0 else None
             ),
         )
+    cost_model = None
+    if args.predict:
+        from .predict import CostModel, ObservationStore
+
+        # The observation tier shares the cache directory layout (its
+        # own subdir), so --cache-dir governs where learning persists.
+        cost_model = CostModel(ObservationStore(args.cache_dir))
     cache = None
     try:
         cache = _build_cache(args)
@@ -1183,6 +1248,10 @@ def _cmd_serve(args) -> int:
             max_running=args.max_running,
             per_tenant_inflight=args.per_tenant,
             tenant_weights=weights,
+            cost_model=cost_model,
+            speculation=args.predict and not args.no_speculation,
+            speculation_inflight=args.speculation_inflight,
+            speculation_headroom=args.speculation_headroom,
         )
         server = ServiceSocketServer(
             service, host=args.host, port=args.port
@@ -1199,6 +1268,16 @@ def _cmd_serve(args) -> int:
             print(
                 f"warpcc fabric on {hub.address}; nodes: "
                 f"warpcc worker --connect {hub.address}",
+                flush=True,
+            )
+        if cost_model is not None:
+            speculation_state = (
+                "off" if args.no_speculation else "on"
+            )
+            print(
+                f"predictive scheduling on (speculation "
+                f"{speculation_state}); editors: "
+                f"warpcc watch FILE --connect {server.address}",
                 flush=True,
             )
         server.serve_until_shutdown()
@@ -1275,6 +1354,93 @@ def _cmd_submit(args) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _describe_watch_outcome(outcome: dict) -> str:
+    reason = outcome.get("reason", "?")
+    if reason == "speculating":
+        names = ", ".join(outcome.get("functions", ())) or "?"
+        line = (
+            f"speculating on {outcome.get('dirty', 0)} function(s) "
+            f"[job {outcome.get('job', '?')}]: {names}"
+        )
+        if outcome.get("superseded"):
+            line += f" (superseded {outcome['superseded']})"
+        return line
+    if reason == "clean":
+        return "no function changed; nothing to do"
+    if reason == "parse-error":
+        return "module does not parse yet; waiting for the next edit"
+    return f"speculation skipped [{reason}]"
+
+
+def _cmd_watch(args) -> int:
+    import json
+    import time
+
+    from .service import ServiceClient, ServiceError, resolve_address
+
+    try:
+        client = ServiceClient(resolve_address(args.connect))
+    except ServiceError as error:
+        print(f"warpcc: {error} [{error.reason}]", file=sys.stderr)
+        return 2
+    watch_key = args.watch_key or args.file
+
+    def push(source: str) -> Optional[dict]:
+        try:
+            return client.watch_update(
+                source,
+                watch=watch_key,
+                filename=args.file,
+                opt_level=args.opt_level,
+                cells=args.cells,
+            )
+        except ServiceError as error:
+            print(f"warpcc: {error} [{error.reason}]", file=sys.stderr)
+            return None
+        except OSError as error:
+            print(f"warpcc: service unreachable: {error}", file=sys.stderr)
+            return None
+
+    def report(outcome: dict) -> None:
+        if args.json:
+            print(json.dumps(outcome, sort_keys=True), flush=True)
+        else:
+            print(_describe_watch_outcome(outcome), flush=True)
+
+    try:
+        last = _read_source(args.file)
+    except OSError as error:
+        print(f"warpcc: {error}", file=sys.stderr)
+        return 2
+    outcome = push(last)
+    if outcome is None:
+        return 2
+    report(outcome)
+    if args.once:
+        return 0
+
+    print(
+        f"watching {args.file} (interval {args.interval}s, ^C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(max(args.interval, 0.05))
+            try:
+                current = _read_source(args.file)
+            except OSError:
+                continue  # editor mid-save; retry next tick
+            if current == last:
+                continue
+            last = current
+            outcome = push(current)
+            if outcome is not None:
+                report(outcome)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def _cmd_status(args) -> int:
@@ -1444,6 +1610,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache_server(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "status":
         return _cmd_status(args)
     return _cmd_bench(args)

@@ -34,6 +34,11 @@ Pipeline variants (the matrix):
                           direct compilation at the winning configs, and the
                           shipped module must match the baseline's simulated
                           outputs at no more cycles
+``predict``               watch-mode speculation: a compile service with the
+                          learned cost model speculatively precompiles the
+                          module, then a compile sharing its artifact cache
+                          must be served from cache and still match the
+                          sequential digest bit-for-bit
 ========================  ==================================================
 
 The ``cache`` variant additionally asserts version isolation: after the
@@ -82,17 +87,20 @@ ALL_PIPELINES: Tuple[str, ...] = (
     "supervised",
     "chaos",
     "search",
+    "predict",
 )
 
 #: The in-process subset — safe anywhere: no worker processes spawned,
 #: no sockets opened (``fabric`` runs loopback TCP; ``warm-pool`` forks).
 #: ``search`` is also excluded: it compiles the module once per variant
 #: config plus one simulation per candidate — the dedicated CI search
-#: job and ``--pipelines all`` cover it.
+#: job and ``--pipelines all`` cover it.  ``predict`` spins up a full
+#: compile service (threads, watch speculation) per check — the
+#: dedicated CI predict job runs it.
 DEFAULT_PIPELINES: Tuple[str, ...] = tuple(
     name
     for name in ALL_PIPELINES
-    if name not in ("warm-pool", "fabric", "search")
+    if name not in ("warm-pool", "fabric", "search", "predict")
 )
 
 MISMATCH_KINDS = ("digest", "diagnostic", "semantic", "crash")
@@ -319,6 +327,8 @@ class DifferentialOracle:
             return self._compile_cache_variant(source, **kwargs)
         if name == "search":
             return self._compile_search_variant(source, seed, **kwargs)
+        if name == "predict":
+            return self._compile_predict_variant(source, **kwargs)
         if name == "phase1":
             return self._compile_phase1_variant(source, **kwargs)
         if name == "phase4":
@@ -484,6 +494,46 @@ class DifferentialOracle:
                         f"({shipped.cycles} > {base_score.cycles} cycles)"
                     )
         return outcome.baseline
+
+    def _compile_predict_variant(self, source: str, *, array, opt_level):
+        """Watch-mode speculation leg: a predict-enabled compile service
+        speculatively compiles the module off a watch update, then an
+        in-process compile *sharing its artifact cache* must be served
+        from cache and (via the caller's generic check) still match the
+        sequential digest.  Compile errors propagate from the in-process
+        compile so reject-parity is checked like any pipeline."""
+        from ..predict import CostModel, ObservationStore
+        from ..service import CompileService
+
+        with tempfile.TemporaryDirectory(prefix="warpcc-fuzz-predict-") as tmp:
+            cache = ArtifactCache(tmp)
+            model = CostModel(ObservationStore(tmp))
+            speculated = False
+            with CompileService(
+                SerialBackend(),
+                cache,
+                cost_model=model,
+                speculation=True,
+            ) as service:
+                outcome = service.watch_update(
+                    source, watch="oracle", opt_level=opt_level,
+                    cells=array.cell_count,
+                )
+                if outcome["job"] is not None:
+                    job = service.wait(outcome["job"], timeout=120.0)
+                    speculated = job.state == "done"
+            hits_before = cache.stats.hits
+            result = ParallelCompiler(
+                backend=SerialBackend(),
+                array=array,
+                opt_level=opt_level,
+                cache=cache,
+            ).compile(source)
+            if speculated and cache.stats.hits == hits_before:
+                raise OracleInvariantError(
+                    "compile after speculation served no cache hits"
+                )
+            return result
 
     def _compile_phase1_variant(self, source: str, *, array, opt_level):
         """Parse-cache-cold compile, then a warm recompile of the same

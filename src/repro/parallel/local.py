@@ -25,7 +25,7 @@ from ..driver.function_master import (
     run_compile_batch,
     run_compile_task,
 )
-from .schedule import batch_tasks_by_cost
+from .schedule import batch_tasks_by_cost, provided_task_costs
 
 
 class SerialBackend:
@@ -77,6 +77,9 @@ class ProcessPoolBackend:
         self._max_workers = max_workers
         self._batches_per_worker = batches_per_worker
         self._last_effective_workers: Optional[int] = None
+        #: pluggable LPT cost seam; None packs batches by the static
+        #: §4.3 hint (see schedule.provided_task_costs)
+        self.cost_provider = None
 
     @property
     def worker_count(self) -> int:
@@ -104,7 +107,7 @@ class ProcessPoolBackend:
         workers = min(self._max_workers, len(tasks))
         self._last_effective_workers = workers
         chunks = batch_tasks_by_cost(
-            [task.cost_hint for task in tasks],
+            provided_task_costs(tasks, self.cost_provider),
             workers * self._batches_per_worker,
         )
         batches = [[tasks[i] for i in chunk] for chunk in chunks]

@@ -219,6 +219,8 @@ class SupervisedBackend:
         fallback=None,
         isolation_runner=None,
         clock=time.monotonic,
+        cost_provider=None,
+        cost_observer=None,
     ):
         if max_attempts < 1:
             raise ValueError(f"need at least one attempt, got {max_attempts}")
@@ -243,6 +245,16 @@ class SupervisedBackend:
             isolation_runner if isolation_runner is not None else run_compile_task
         )
         self.clock = clock
+        #: pluggable cost seam: estimates in §4.3 hint units feed the
+        #: per-attempt deadline; None means the static task hint.
+        self.cost_provider = cost_provider
+        #: Callable[[FunctionTask, float], None] told each task's
+        #: measured wall clock — exactly once, for the attempt that won
+        #: (the original on a clean run, the hedge when the hedge wins,
+        #: the retry after a failure) — so supervision noise (abandoned
+        #: deadlines, lost hedges, queue time) never poisons a learned
+        #: cost model.  Isolated (poison) tasks are never reported.
+        self.cost_observer = cost_observer
         self.supervision = SupervisionStats()
         self.health = WorkerHealthTracker(
             quarantine_after=quarantine_after,
@@ -268,13 +280,23 @@ class SupervisedBackend:
             self.inner, "effective_worker_count", self.inner.worker_count
         )
 
+    def cost_for(self, task: FunctionTask) -> float:
+        """Cost in §4.3 hint units: the pluggable provider's estimate
+        when one is set (static hint on any error), else the hint."""
+        if self.cost_provider is not None:
+            try:
+                return float(self.cost_provider(task))
+            except Exception:
+                pass
+        return float(task.cost_hint)
+
     def timeout_for(self, task: FunctionTask) -> Optional[float]:
         """Seconds this task's attempts may run, or None for no deadline."""
         if self.task_timeout is not None:
             return self.task_timeout if self.task_timeout > 0 else None
         return max(
             self.timeout_floor,
-            self.timeout_multiplier * max(task.cost_hint, 1.0),
+            self.timeout_multiplier * max(self.cost_for(task), 1.0),
         )
 
     def run_tasks(self, tasks: List[FunctionTask]) -> List[FunctionTaskResult]:
@@ -298,6 +320,10 @@ class _TaskState:
     #: dispatch id -> deadline (monotonic seconds) or None
     active: Dict[int, Optional[float]] = field(default_factory=dict)
     last_started: float = 0.0
+    #: dispatch id -> when *that* attempt began (launch, refined by the
+    #: backend's "start" event) — per-dispatch so a winning hedge or
+    #: retry is measured from its own start, not the original's
+    started_at: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -395,6 +421,7 @@ class _SupervisedRun:
                 deadline = None if seconds is None else now + seconds
             state.active[dispatch.id] = deadline
             state.last_started = now
+            state.started_at[dispatch.id] = now
         thread = threading.Thread(
             target=self._dispatch_thread,
             args=(dispatch, list(tasks), backend),
@@ -467,6 +494,7 @@ class _SupervisedRun:
             if seconds is not None:
                 state.active[dispatch.id] = now + seconds
             state.last_started = now
+            state.started_at[dispatch.id] = now
 
     def _on_result(
         self, dispatch: _Dispatch, result: FunctionTaskResult
@@ -490,12 +518,31 @@ class _SupervisedRun:
             self.health.record_success(FARM)
         dispatch.delivered[tkey] = dispatch.delivered.get(tkey, 0) + 1
         if tkey[1] is not None and not state.resolved:
+            self._observe(state, dispatch)
             self._resolve(state, dispatch)
         if rkey in self.yielded:
             self.stats.late_duplicates += 1
             return
         self.yielded.add(rkey)
         yield result
+
+    def _observe(self, state: _TaskState, dispatch: _Dispatch) -> None:
+        """Report the winning attempt's wall clock to the cost observer.
+
+        Called exactly once per task, at resolution, with the duration
+        of the *delivering* dispatch (its own start time, re-armed by
+        the backend's "start" event where available) — a hedged or
+        retried task is attributed the attempt that actually produced
+        the result, never the abandoned one's elapsed time.
+        """
+        observer = self.sup.cost_observer
+        if observer is None:
+            return
+        started = state.started_at.get(dispatch.id, state.last_started)
+        try:
+            observer(state.task, max(self.sup.clock() - started, 0.0))
+        except Exception:
+            pass  # the model is advisory; it must never fail a compile
 
     def _resolve(self, state: _TaskState, dispatch: Optional[_Dispatch]) -> None:
         state.resolved = True

@@ -36,7 +36,7 @@ from ..driver.function_master import (
     FunctionTaskResult,
     run_compile_batch,
 )
-from .schedule import batch_tasks_by_cost
+from .schedule import batch_tasks_by_cost, provided_task_costs
 
 
 class WarmPoolBackend:
@@ -70,6 +70,9 @@ class WarmPoolBackend:
         #: spawn an executor and leak one.
         self._pool_lock = threading.Lock()
         self._last_effective_workers: Optional[int] = None
+        #: pluggable LPT cost seam; None packs batches by the static
+        #: §4.3 hint (see schedule.provided_task_costs)
+        self.cost_provider = None
         #: telemetry: completed run_tasks calls / pools rebuilt after crash
         self.dispatches = 0
         self.crash_recoveries = 0
@@ -102,7 +105,7 @@ class WarmPoolBackend:
         if not tasks:
             return
         chunks = batch_tasks_by_cost(
-            [task.cost_hint for task in tasks],
+            provided_task_costs(tasks, self.cost_provider),
             min(len(tasks), self._max_workers * self._batches_per_worker),
         )
         batches = [[tasks[i] for i in chunk] for chunk in chunks]

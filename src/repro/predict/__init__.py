@@ -1,0 +1,37 @@
+"""Predictive compilation: a learned cost model plus watch-mode speculation.
+
+Two halves, both feeding the compile service:
+
+- :mod:`repro.predict.observe` — a persistent per-fingerprint store of
+  observed compile times (a fifth :class:`~repro.cache.store.PickleStore`
+  tier) and :class:`CostModel`, an EWMA/percentile estimator that plugs
+  into every seam that previously consumed the static §4.3
+  ``ast_cost_hint`` (fair-share queue, supervision deadlines, LPT batch
+  packing) and falls back to the static hint for unseen fingerprints.
+- :mod:`repro.predict.watch` — watch-mode speculation: clients stream
+  edited sources, the server fingerprints the module, diffs it against
+  the previous snapshot, and precompiles the changed functions as
+  ``batch``-priority jobs under a dedicated speculation tenant so the
+  eventual interactive submit is mostly cache hits.
+
+Neither half can change compile *results*: learned costs only reorder
+dispatch (results are routed by (section, function) key), and
+speculation only warms the ordinary content-addressed caches.
+"""
+
+from .observe import (
+    CostModel,
+    CostObservation,
+    ObservationStore,
+    task_fingerprint,
+)
+from .watch import SPECULATION_TENANT, SpeculationManager
+
+__all__ = [
+    "CostModel",
+    "CostObservation",
+    "ObservationStore",
+    "SPECULATION_TENANT",
+    "SpeculationManager",
+    "task_fingerprint",
+]

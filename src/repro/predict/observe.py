@@ -1,0 +1,279 @@
+"""Learned compile-cost model over a persistent observation store.
+
+The paper's scheduler costs tasks with a static "lines + nesting"
+estimate (§4.3, :func:`~repro.parallel.schedule.ast_cost_hint`).  After
+enough compiles the system has ground truth the estimate never sees:
+the wall-clock each function actually took.  This module closes the
+loop:
+
+- :class:`ObservationStore` persists one :class:`CostObservation` per
+  content fingerprint (EWMA, a bounded window of recent samples, the
+  static hint it was observed under).  Same PickleStore machinery as
+  the artifact/parse/link/variant tiers: atomic writes, LRU eviction,
+  corrupt entries deleted and counted.
+- :class:`CostModel` is the pluggable cost provider: called with a
+  :class:`~repro.driver.function_master.FunctionTask`, it returns a
+  cost **in static-hint units** so learned and unseen tasks stay
+  comparable inside one fair-share queue.  Unit conversion uses a
+  calibration record — an EWMA of observed ``hint / seconds`` — so
+  ``cost = predicted_seconds * hints_per_second``.
+
+Fallback rules keep the model harmless: unseen fingerprint, too few
+samples, missing calibration, unparseable source, any internal error —
+all fall back to the task's static ``cost_hint``.  Learned costs
+reorder dispatch; they can never alter a compile result (results are
+routed by (section, function) key, not by cost).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cache.fingerprint import function_fingerprint
+from ..cache.store import PickleStore
+from ..driver.function_master import FunctionTask, phase1_cached
+
+#: recent samples kept per fingerprint (enough for a stable p90 without
+#: letting one hot function grow its entry unboundedly)
+SAMPLE_WINDOW = 32
+
+#: fingerprint of the synthetic calibration record (hint-units-per-second
+#: EWMA; ordinary fingerprints are hex digests so this can't collide)
+CALIBRATION_KEY = "calibration"
+
+
+@dataclass
+class CostObservation:
+    """Accumulated timing evidence for one function fingerprint."""
+
+    fingerprint: str
+    count: int = 0
+    ewma_s: float = 0.0
+    last_s: float = 0.0
+    max_s: float = 0.0
+    #: static §4.3 hint recorded with the last observation — the
+    #: calibration pair tying seconds back to hint units
+    hint: float = 1.0
+    samples: List[float] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained sample window."""
+        if not self.samples:
+            return self.ewma_s
+        ordered = sorted(self.samples)
+        rank = -(-q * len(ordered) // 1)  # ceil(q * n)
+        rank = min(len(ordered), max(1, int(rank)))
+        return ordered[rank - 1]
+
+
+class ObservationStore(PickleStore):
+    """Persistent per-fingerprint compile-time observations (``observe/``)."""
+
+    SUBDIR = "observe"
+    PAYLOAD_TYPE = CostObservation
+
+    def get(self, fingerprint: str) -> Optional[CostObservation]:
+        return super().get(fingerprint)
+
+
+def task_fingerprint(task: FunctionTask) -> Optional[str]:
+    """The content fingerprint a task's artifact is cached under.
+
+    Observations must key on *content*, not names, so a renamed file or
+    a different module with the same function bodies shares history.
+    Section-level tasks and unparseable sources return None — callers
+    fall back to the static hint.
+    """
+    if task.function_name is None:
+        return None
+    try:
+        parsed, _ = phase1_cached(task.source_text, task.filename)
+        section = parsed.module.section_named(task.section_name)
+        if section is None:
+            return None
+        function = next(
+            (f for f in section.functions if f.name == task.function_name),
+            None,
+        )
+        if function is None:
+            return None
+        return function_fingerprint(
+            section,
+            function,
+            opt_level=task.opt_level,
+            cell_count=task.cell_count,
+            unroll_budget=task.unroll_budget,
+            ii_budget=task.ii_budget,
+        )
+    except Exception:
+        return None
+
+
+class CostModel:
+    """EWMA/percentile cost estimator over an :class:`ObservationStore`.
+
+    Instances are callable — ``model(task)`` returns the estimated cost
+    in static-hint units — so a model *is* a cost provider for the
+    fair-share queue, the supervisor, and the LPT batchers.  All state
+    is guarded by one lock; the store's atomic writes make concurrent
+    processes last-writer-wins, which is fine for advisory data.
+    """
+
+    def __init__(
+        self,
+        store: ObservationStore,
+        *,
+        alpha: float = 0.25,
+        window: int = SAMPLE_WINDOW,
+        min_samples: int = 2,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        if min_samples < 1:
+            raise ValueError(
+                f"min_samples must be positive, got {min_samples}"
+            )
+        self.store = store
+        self.alpha = alpha
+        self.window = window
+        self.min_samples = min_samples
+        self._lock = threading.Lock()
+        #: write-through memo so the hot estimate path stays off disk
+        self._memo: Dict[str, CostObservation] = {}
+        #: telemetry: observations recorded / learned estimates served /
+        #: static-hint fallbacks
+        self.recorded = 0
+        self.learned = 0
+        self.fallbacks = 0
+
+    # -- recording -----------------------------------------------------
+
+    def observe_task(self, task: FunctionTask, seconds: float) -> None:
+        """Record one task's measured wall clock (no-op when the task
+        has no content fingerprint)."""
+        fingerprint = task_fingerprint(task)
+        if fingerprint is None:
+            return
+        self.observe(fingerprint, seconds, hint=float(task.cost_hint))
+
+    def observe(
+        self, fingerprint: str, seconds: float, hint: float = 1.0
+    ) -> CostObservation:
+        """Fold one sample into the fingerprint's observation and the
+        global calibration record; persists both."""
+        seconds = max(float(seconds), 1e-6)
+        with self._lock:
+            obs = self._update(
+                fingerprint, seconds, hint=max(float(hint), 1.0)
+            )
+            # Calibration: EWMA of hint/seconds, keyed like any entry.
+            self._update(CALIBRATION_KEY, max(hint, 1.0) / seconds, hint=1.0)
+            self.recorded += 1
+            return obs
+
+    def _update(
+        self, fingerprint: str, value: float, hint: float
+    ) -> CostObservation:
+        """EWMA + window update for one entry (caller holds the lock)."""
+        obs = self._load(fingerprint)
+        if obs is None:
+            obs = CostObservation(fingerprint=fingerprint)
+        if obs.count == 0:
+            obs.ewma_s = value
+        else:
+            obs.ewma_s += self.alpha * (value - obs.ewma_s)
+        obs.count += 1
+        obs.last_s = value
+        obs.max_s = max(obs.max_s, value)
+        obs.hint = hint
+        obs.samples = (obs.samples + [value])[-self.window:]
+        self._memo[fingerprint] = obs
+        try:
+            self.store.put(fingerprint, obs)
+        except OSError:
+            pass  # advisory data: a full/broken disk must not fail a compile
+        return obs
+
+    def _load(self, fingerprint: str) -> Optional[CostObservation]:
+        obs = self._memo.get(fingerprint)
+        if obs is None:
+            obs = self.store.get(fingerprint)
+            if obs is not None:
+                self._memo[fingerprint] = obs
+        return obs
+
+    # -- estimation ----------------------------------------------------
+
+    def estimate_seconds(self, fingerprint: str) -> Optional[float]:
+        """Predicted wall clock for a fingerprint, or None (unseen or
+        fewer than ``min_samples`` observations)."""
+        with self._lock:
+            obs = self._load(fingerprint)
+            if obs is None or obs.count < self.min_samples:
+                return None
+            return obs.ewma_s
+
+    def percentile_seconds(
+        self, fingerprint: str, q: float = 0.9
+    ) -> Optional[float]:
+        """High-percentile wall clock (deadline-style estimate)."""
+        with self._lock:
+            obs = self._load(fingerprint)
+            if obs is None or obs.count < self.min_samples:
+                return None
+            return obs.percentile(q)
+
+    def _hints_per_second(self) -> Optional[float]:
+        calibration = self._load(CALIBRATION_KEY)
+        if calibration is None or calibration.count < self.min_samples:
+            return None
+        if calibration.ewma_s <= 0:
+            return None
+        return calibration.ewma_s
+
+    def cost_for(self, task: FunctionTask) -> float:
+        """Estimated cost in static-hint units (the provider seam).
+
+        Never raises; anything short of solid evidence returns the
+        static §4.3 hint unchanged.
+        """
+        try:
+            fingerprint = task_fingerprint(task)
+            if fingerprint is not None:
+                with self._lock:
+                    obs = self._load(fingerprint)
+                    ratio = self._hints_per_second()
+                    if (
+                        obs is not None
+                        and obs.count >= self.min_samples
+                        and ratio is not None
+                    ):
+                        self.learned += 1
+                        return max(obs.ewma_s * ratio, 1e-6)
+        except Exception:
+            pass
+        self.fallbacks += 1
+        return float(task.cost_hint)
+
+    __call__ = cost_for
+
+    # -- telemetry -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            calibration = self._load(CALIBRATION_KEY)
+            return {
+                "recorded": self.recorded,
+                "learned": self.learned,
+                "fallbacks": self.fallbacks,
+                "fingerprints": len(self._memo),
+                "hints_per_second": (
+                    round(calibration.ewma_s, 6)
+                    if calibration is not None and calibration.count
+                    else None
+                ),
+            }

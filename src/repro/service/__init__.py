@@ -23,11 +23,22 @@ from .server import (
     TaskSpan,
 )
 from .client import ServiceClient, ServiceError, resolve_address
-from .loadgen import LoadReport, LoadSpec, plan_load, run_load
+from .loadgen import (
+    EditSessionReport,
+    EditSessionSpec,
+    LoadReport,
+    LoadSpec,
+    plan_edit_session,
+    plan_load,
+    replay_edit_session,
+    run_load,
+)
 
 __all__ = [
     "AdmissionError",
     "CompileService",
+    "EditSessionReport",
+    "EditSessionSpec",
     "FairShareQueue",
     "JobCancelled",
     "LoadReport",
@@ -38,7 +49,9 @@ __all__ = [
     "ServiceError",
     "ServiceSocketServer",
     "TaskSpan",
+    "plan_edit_session",
     "plan_load",
+    "replay_edit_session",
     "resolve_address",
     "result_keys_for_task",
     "run_load",

@@ -200,6 +200,35 @@ class ServiceClient:
             request["job"] = job_id
         return self._request(request)
 
+    def watch_update(
+        self,
+        source: str,
+        *,
+        watch: str = "default",
+        filename: str = "<watch>",
+        opt_level: int = 2,
+        cells: int = 10,
+    ) -> dict:
+        """Stream one watch-mode edit; the server fingerprints the
+        module, diffs it against this watch key's previous snapshot,
+        and (capacity permitting) precompiles the changed functions as
+        a speculative batch-priority job.  Returns the outcome document
+        ({"dirty", "functions", "job", "superseded", "reason", ...})."""
+        return self._request(
+            {
+                "op": "watch",
+                "source": source,
+                "watch": watch,
+                "filename": filename,
+                "opt_level": opt_level,
+                "cells": cells,
+            }
+        )
+
+    def watch_status(self) -> dict:
+        """Speculation counters ({"enabled", "stats"})."""
+        return self._request({"op": "watch-status"})
+
     def cancel(self, job_id: str) -> bool:
         return self._request({"op": "cancel", "job": job_id})["cancelled"]
 

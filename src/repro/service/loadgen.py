@@ -20,7 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..workloads.sizes import SIZE_CLASSES
+from ..workloads.kernels import synthetic_function
+from ..workloads.sizes import SIZE_CLASSES, lines_for
 from ..workloads.synthetic import synthetic_program
 from .server import AdmissionError, CompileService
 
@@ -243,4 +244,212 @@ def run_load(
         pool_utilization=service.pool_utilization(),
         workers=service.worker_count,
         per_tenant_completed=per_tenant,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Edit-session replay: the watch-mode speculation benchmark workload.
+#
+# A seeded "user" edits one module repeatedly: each step mutates one
+# function (cumulatively, like a real editing session), optionally
+# streams the new source as a watch update, pauses while speculation
+# runs, then submits interactively — the submit-to-done latency is what
+# speculation is supposed to collapse into cache hits.  The plan is a
+# pure function of the spec, so speculation-on and speculation-off runs
+# replay byte-identical sources in the same order.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EditSessionSpec:
+    """One seeded editing session over a single synthetic module."""
+
+    seed: int = 0
+    edits: int = 8
+    functions: int = 4
+    size_class: str = "small"
+    opt_level: int = 2
+    cells: int = 10
+    module_name: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.edits < 1:
+            raise ValueError(f"need at least one edit, got {self.edits}")
+        if self.functions < 1:
+            raise ValueError(
+                f"need at least one function, got {self.functions}"
+            )
+        if self.size_class not in SIZE_CLASSES:
+            raise KeyError(f"unknown size class {self.size_class!r}")
+
+    @property
+    def name(self) -> str:
+        if self.module_name is not None:
+            return self.module_name
+        return f"edit_{self.seed}_{self.size_class}"
+
+
+@dataclass(frozen=True)
+class EditStep:
+    """The module text after one edit."""
+
+    index: int
+    function: str  # name of the function this step mutated
+    source: str
+
+
+def _insert_before_return(function_text: str, statement: str) -> str:
+    """Insert one statement line just above the function's return."""
+    lines = function_text.split("\n")
+    for position in range(len(lines) - 1, -1, -1):
+        stripped = lines[position].lstrip()
+        if stripped.startswith("return"):
+            pad = lines[position][: len(lines[position]) - len(stripped)]
+            lines.insert(position, f"{pad}{statement}")
+            return "\n".join(lines)
+    raise ValueError("function text has no return statement")
+
+
+def plan_edit_session(spec: EditSessionSpec) -> List[EditStep]:
+    """Draw the full session (deterministic in the seed): each step
+    picks a function and appends a fresh statement to it, so every
+    step's fingerprint differs from the last in exactly one function."""
+    spec.validate()
+    rng = random.Random(spec.seed)
+    lines = lines_for(spec.size_class)
+    bodies = [
+        synthetic_function(f"f{i + 1}", lines)
+        for i in range(spec.functions)
+    ]
+    steps: List[EditStep] = []
+    for index in range(spec.edits):
+        target = rng.randrange(spec.functions)
+        constant = round(rng.uniform(0.001, 0.999), 6)
+        bodies[target] = _insert_before_return(
+            bodies[target], f"x := x + {constant};"
+        )
+        body = "\n".join(bodies)
+        source = (
+            f"module {spec.name}\n"
+            f"section sec1 (cells 0..0)\n"
+            f"{body}\n"
+            f"end\n"
+            f"end\n"
+        )
+        steps.append(
+            EditStep(index=index, function=f"f{target + 1}", source=source)
+        )
+    return steps
+
+
+@dataclass
+class EditSessionReport:
+    """Interactive latency outcome of one replayed edit session."""
+
+    spec_seed: int
+    edits: int
+    completed: int
+    failed: int
+    speculate: bool
+    interactive_p50: float
+    interactive_p95: float
+    interactive_mean: float
+    tasks_total: int
+    cache_served: int
+    digests: List[str] = field(default_factory=list)
+    speculation: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.spec_seed,
+            "edits": self.edits,
+            "completed": self.completed,
+            "failed": self.failed,
+            "speculate": self.speculate,
+            "interactive_p50_s": round(self.interactive_p50, 6),
+            "interactive_p95_s": round(self.interactive_p95, 6),
+            "interactive_mean_s": round(self.interactive_mean, 6),
+            "tasks_total": self.tasks_total,
+            "cache_served": self.cache_served,
+            "speculation": dict(self.speculation),
+        }
+
+
+def replay_edit_session(
+    service: CompileService,
+    spec: EditSessionSpec,
+    *,
+    speculate: bool = True,
+    tenant: str = "editor",
+    settle_timeout: Optional[float] = 120.0,
+    wait_timeout: Optional[float] = 300.0,
+) -> EditSessionReport:
+    """Replay the session against ``service`` and measure interactive
+    submit-to-done latency.
+
+    With ``speculate=True`` each edit is streamed as a watch update
+    first, and the "think time" before the interactive submit lasts
+    until the speculative job settles (a user pausing long enough for
+    speculation to finish — the best case the bench is guarding).  With
+    ``speculate=False`` the same sources are submitted cold.
+    """
+    steps = plan_edit_session(spec)
+    latencies: List[float] = []
+    digests: List[str] = []
+    failed = 0
+    tasks_total = 0
+    cache_served = 0
+    for step in steps:
+        filename = f"{spec.name}.w2"
+        if speculate:
+            outcome = service.watch_update(
+                step.source,
+                watch=spec.name,
+                filename=filename,
+                opt_level=spec.opt_level,
+                cells=spec.cells,
+            )
+            job_id = outcome.get("job")
+            if job_id is not None:
+                try:
+                    service.wait(job_id, timeout=settle_timeout)
+                except (KeyError, TimeoutError):
+                    pass  # speculation is best-effort; submit anyway
+        try:
+            job_id = service.submit(
+                step.source,
+                tenant=tenant,
+                filename=filename,
+                priority="interactive",
+                opt_level=spec.opt_level,
+                cells=spec.cells,
+            )
+        except AdmissionError:
+            failed += 1
+            continue
+        job = service.wait(job_id, timeout=wait_timeout)
+        if job.state != "done":
+            failed += 1
+            continue
+        latencies.append(job.finished_at - job.submitted_at)
+        digests.append(job.result.digest)
+        tasks_total += job.tasks_total
+        cache_served += job.cache_served
+    latencies.sort()
+    manager = getattr(service, "speculation", None)
+    return EditSessionReport(
+        spec_seed=spec.seed,
+        edits=len(steps),
+        completed=len(digests),
+        failed=failed,
+        speculate=speculate,
+        interactive_p50=_percentile(latencies, 0.50),
+        interactive_p95=_percentile(latencies, 0.95),
+        interactive_mean=(
+            statistics.fmean(latencies) if latencies else 0.0
+        ),
+        tasks_total=tasks_total,
+        cache_served=cache_served,
+        digests=digests,
+        speculation=manager.stats() if manager is not None else {},
     )

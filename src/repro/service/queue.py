@@ -9,7 +9,11 @@ driven by the same cost estimate the paper's scheduler uses ("lines of
 code and loop nesting", §4.3): every task carries its
 :func:`~repro.parallel.schedule.ast_cost_hint`, and dispatching a task
 advances its tenant's *virtual time* by ``cost / weight`` (stride
-scheduling).  The next task always comes from the tenant with the least
+scheduling).  The estimate itself is a pluggable seam: construct the
+queue with a ``cost_provider`` (e.g. the learned
+:class:`~repro.predict.observe.CostModel`) to account tasks at observed
+compile times instead of the static hint — only the dispatch *order*
+changes, never any result.  The next task always comes from the tenant with the least
 virtual time, so:
 
 - tenants receive pool share proportional to their weights;
@@ -111,6 +115,7 @@ class FairShareQueue:
         tenant_weights: Optional[Dict[str, float]] = None,
         default_weight: float = 1.0,
         min_cost: float = 1.0,
+        cost_provider=None,
     ):
         if default_weight <= 0:
             raise ValueError(
@@ -125,6 +130,11 @@ class FairShareQueue:
             self._weights[tenant] = weight
         self._default_weight = default_weight
         self._min_cost = min_cost
+        #: pluggable cost seam: Callable[[FunctionTask], float] or None
+        #: for the static §4.3 hint.  A provider only changes dispatch
+        #: *order* — results route by (section, function), so digests
+        #: are identical under any provider.
+        self._cost_provider = cost_provider
         #: insertion-ordered so iteration (and thus selection scans) are
         #: reproducible regardless of string hash randomization.
         self._jobs: "OrderedDict[str, _JobQueue]" = OrderedDict()
@@ -150,6 +160,17 @@ class FairShareQueue:
     def weight_of(self, tenant: str) -> float:
         with self._lock:
             return self._weights.get(tenant, self._default_weight)
+
+    def task_cost(self, task: FunctionTask) -> float:
+        """The cost a task is accounted at: the provider's estimate when
+        one is set (falling back to the static hint on any error),
+        floored at ``min_cost``."""
+        if self._cost_provider is not None:
+            try:
+                return max(float(self._cost_provider(task)), self._min_cost)
+            except Exception:
+                pass
+        return max(float(task.cost_hint), self._min_cost)
 
     # -- enqueue -------------------------------------------------------
 
@@ -187,7 +208,7 @@ class FairShareQueue:
                         tenant=tenant,
                         priority=priority,
                         task=task,
-                        cost=max(float(task.cost_hint), self._min_cost),
+                        cost=self.task_cost(task),
                         seq=self._seq,
                         result_keys=tuple(keys),
                     )

@@ -206,6 +206,10 @@ class CompileService:
         wave_size: Optional[int] = None,
         keep_finished: int = 256,
         max_spans: int = 4096,
+        cost_model=None,
+        speculation: bool = False,
+        speculation_inflight: int = 2,
+        speculation_headroom: int = 2,
     ):
         if max_queued < 1:
             raise ValueError(f"max_queued must be positive, got {max_queued}")
@@ -243,7 +247,32 @@ class CompileService:
         self.keep_finished = keep_finished
         self.max_spans = max_spans
 
-        self.fair_queue = FairShareQueue(tenant_weights)
+        #: learned cost model (repro.predict.observe.CostModel) or None
+        #: for the static §4.3 hints everywhere.  When set it becomes
+        #: the cost provider for the fair queue and for every backend in
+        #: the wrapper chain that exposes the seam, and it is fed
+        #: observations: by the supervisor (winning attempt only) when
+        #: one is in the chain, else from wave spans here.
+        self.cost_model = cost_model
+        self._observe_spans = False
+        if cost_model is not None:
+            self._observe_spans = True
+            node, seen = backend, set()
+            while node is not None and id(node) not in seen:
+                seen.add(id(node))
+                own = getattr(node, "__dict__", {})
+                if "cost_provider" in own:
+                    node.cost_provider = cost_model
+                if "cost_observer" in own:
+                    node.cost_observer = cost_model.observe_task
+                    # the supervisor measures the winning attempt
+                    # precisely; span-based recording would double count
+                    self._observe_spans = False
+                node = own.get("inner")
+
+        self.fair_queue = FairShareQueue(
+            tenant_weights, cost_provider=cost_model
+        )
         self._cond = threading.Condition()
         self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._job_ids = itertools.count(1)
@@ -264,6 +293,15 @@ class CompileService:
             "tasks_dispatched": 0,
             "busy_worker_seconds": 0.0,
         }
+        self._speculation = None
+        if speculation:
+            from ..predict.watch import SpeculationManager
+
+            self._speculation = SpeculationManager(
+                self,
+                max_inflight=speculation_inflight,
+                queue_headroom=speculation_headroom,
+            )
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="warpcc-dispatcher", daemon=True
         )
@@ -519,29 +557,50 @@ class CompileService:
     ) -> None:
         key = (result.section_name, result.function_name)
         now = self._now()
-        with self._cond:
-            entry = route.pop(key, None)
-            if entry is None:
-                return  # late duplicate or unknown — drop
-            job_id, _ = entry
-            job = self._jobs.get(job_id)
-            if job is None or job.terminal:
-                return
-            if len(self.spans) < self.max_spans:
-                self.spans.append(
-                    TaskSpan(
-                        job_id=job_id,
-                        label=f"{key[0]}.{key[1]}",
-                        start=wave_start,
-                        end=now,
+        observed: Optional[FunctionTask] = None
+        try:
+            with self._cond:
+                entry = route.pop(key, None)
+                if entry is None:
+                    return  # late duplicate or unknown — drop
+                job_id, queued = entry
+                if (
+                    self._observe_spans
+                    and queued.task.function_name is not None
+                ):
+                    observed = queued.task
+                job = self._jobs.get(job_id)
+                if job is None or job.terminal:
+                    return
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(
+                        TaskSpan(
+                            job_id=job_id,
+                            label=f"{key[0]}.{key[1]}",
+                            start=wave_start,
+                            end=now,
+                        )
                     )
+                if job.cancel_requested:
+                    return  # the cancel sentinel is already in the inbox
+                job.tasks_done += 1
+                self._event(
+                    job, "function_done", function=f"{key[0]}.{key[1]}"
                 )
-            if job.cancel_requested:
-                return  # the cancel sentinel is already in the inbox
-            job.tasks_done += 1
-            self._event(job, "function_done", function=f"{key[0]}.{key[1]}")
-            job.inbox.put(("result", result))
-            self._cond.notify_all()
+                job.inbox.put(("result", result))
+                self._cond.notify_all()
+        finally:
+            # Feed the learned cost model outside the lock (it hits
+            # disk).  Span timing starts at the wave, so queueing within
+            # the wave is included — an upper bound; a supervised
+            # backend replaces this with exact winning-attempt timing.
+            if observed is not None and self.cost_model is not None:
+                try:
+                    self.cost_model.observe_task(
+                        observed, max(now - wave_start, 0.0)
+                    )
+                except Exception:
+                    pass
 
     # -- queries -------------------------------------------------------
 
@@ -620,6 +679,44 @@ class CompileService:
         with self._cond:
             return [job.summary() for job in self._jobs.values()]
 
+    # -- watch-mode speculation ----------------------------------------
+
+    @property
+    def speculation(self):
+        """The SpeculationManager, or None when speculation is off."""
+        return self._speculation
+
+    def watch_update(
+        self,
+        source: str,
+        *,
+        watch: str = "default",
+        filename: str = "<watch>",
+        opt_level: int = 2,
+        cells: int = 10,
+    ) -> dict:
+        """One watch-mode edit: fingerprint-diff the module against the
+        watch key's previous snapshot and (maybe) launch a speculative
+        ``batch``-priority job under the speculation tenant.  Returns
+        the outcome document; never raises for speculation failures."""
+        if self._speculation is None:
+            return {
+                "watch": watch,
+                "speculation": False,
+                "job": None,
+                "dirty": 0,
+                "functions": [],
+                "superseded": False,
+                "reason": "speculation-disabled",
+            }
+        return self._speculation.update(
+            source,
+            watch=watch,
+            filename=filename,
+            opt_level=opt_level,
+            cells=cells,
+        )
+
     def service_stats(self) -> dict:
         with self._cond:
             elapsed = self._now()
@@ -641,6 +738,10 @@ class CompileService:
                     "accepting": self._accepting,
                 }
             )
+            if self._speculation is not None:
+                stats["speculation"] = self._speculation.stats()
+            if self.cost_model is not None:
+                stats["cost_model"] = self.cost_model.snapshot()
             return stats
 
     def pool_utilization(self) -> float:
@@ -887,6 +988,30 @@ class _ServiceRequestHandler(socketserver.StreamRequestHandler):
                 self._reply(ok=False, error=str(error), reason="timeout")
             else:
                 self._reply(ok=True, job=_job_detail(service, job))
+        elif op == "watch":
+            source = request.get("source")
+            if source is None:
+                self._reply(
+                    ok=False,
+                    error="watch requires a source field",
+                    reason="bad-request",
+                )
+                return
+            outcome = service.watch_update(
+                source,
+                watch=str(request.get("watch", "default")),
+                filename=request.get("filename", "<watch>"),
+                opt_level=int(request.get("opt_level", 2)),
+                cells=int(request.get("cells", 10)),
+            )
+            self._reply(ok=True, **outcome)
+        elif op == "watch-status":
+            manager = service.speculation
+            self._reply(
+                ok=True,
+                enabled=manager is not None,
+                stats=manager.stats() if manager is not None else {},
+            )
         elif op == "cancel":
             try:
                 cancelled = service.cancel(request.get("job"))

@@ -241,12 +241,14 @@ class TestCampaign:
 
     def test_all_pipelines_constant_covers_matrix(self):
         # warm-pool forks processes and fabric opens loopback sockets;
-        # search compiles the module once per variant config; all three
+        # search compiles the module once per variant config; predict
+        # spins up a compile service with watch speculation; all four
         # stay opt-in so the default matrix is cheap and sandboxed.
         assert set(DEFAULT_PIPELINES) == set(ALL_PIPELINES) - {
             "warm-pool",
             "fabric",
             "search",
+            "predict",
         }
 
 
